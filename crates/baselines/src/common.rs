@@ -1,0 +1,136 @@
+//! Shared bookkeeping for baseline tuners.
+
+use cstuner_core::{CurvePoint, Evaluator, PreprocBreakdown, TuneError, TuningOutcome};
+use cst_space::Setting;
+
+/// Batches evaluations into iterations of `pop` and records the
+/// best-so-far curve, matching the accounting of csTuner's search stage
+/// ("the number of parameter settings evaluated during one iteration is
+/// set to the population size", §V-A2).
+#[derive(Debug, Clone)]
+pub struct Recorder {
+    pop: usize,
+    in_iter: usize,
+    iteration: u32,
+    best_ms: f64,
+    best_setting: Option<Setting>,
+    curve: Vec<CurvePoint>,
+    max_iterations: u32,
+}
+
+impl Recorder {
+    /// New recorder with the iteration batch size and iteration cap.
+    pub fn new(pop: usize, max_iterations: u32) -> Self {
+        assert!(pop > 0);
+        Recorder {
+            pop,
+            in_iter: 0,
+            iteration: 0,
+            best_ms: f64::INFINITY,
+            best_setting: None,
+            curve: Vec::new(),
+            max_iterations,
+        }
+    }
+
+    /// Evaluate a setting through the evaluator, update the incumbent, and
+    /// advance iteration accounting. Returns the measured time.
+    pub fn measure(&mut self, eval: &mut dyn Evaluator, s: Setting) -> f64 {
+        let before = eval.unique_evaluations();
+        let t = eval.evaluate(&s);
+        if t < self.best_ms {
+            self.best_ms = t;
+            self.best_setting = Some(s);
+        }
+        // Memoized repeats are free on real hardware too; only fresh
+        // evaluations advance the iteration counter.
+        if eval.unique_evaluations() > before {
+            self.in_iter += 1;
+        }
+        if self.in_iter >= self.pop {
+            self.in_iter = 0;
+            self.iteration += 1;
+            self.curve.push(CurvePoint {
+                iteration: self.iteration,
+                elapsed_s: eval.clock().now_s(),
+                best_ms: self.best_ms,
+            });
+        }
+        t
+    }
+
+    /// Whether the tuner should stop (budget or iteration cap).
+    pub fn done(&self, eval: &dyn Evaluator) -> bool {
+        eval.expired() || self.iteration >= self.max_iterations
+    }
+
+    /// Current best time.
+    pub fn best_ms(&self) -> f64 {
+        self.best_ms
+    }
+
+    /// Current best setting, if any finite evaluation happened.
+    pub fn best_setting(&self) -> Option<Setting> {
+        self.best_setting
+    }
+
+    /// Finalize into a [`TuningOutcome`].
+    pub fn finish(mut self, name: &'static str, eval: &dyn Evaluator) -> Result<TuningOutcome, TuneError> {
+        if self.in_iter > 0 || self.curve.is_empty() {
+            self.iteration += 1;
+            self.curve.push(CurvePoint {
+                iteration: self.iteration,
+                elapsed_s: eval.clock().now_s(),
+                best_ms: self.best_ms,
+            });
+        }
+        let best_setting = self.best_setting.ok_or(TuneError::BudgetTooSmall)?;
+        if !self.best_ms.is_finite() {
+            return Err(TuneError::EmptySpace);
+        }
+        Ok(TuningOutcome {
+            tuner: name,
+            best_setting,
+            best_time_ms: self.best_ms,
+            curve: self.curve,
+            evaluations: eval.unique_evaluations(),
+            search_s: eval.clock().now_s(),
+            preproc: PreprocBreakdown::default(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cst_gpu_sim::GpuArch;
+    use cstuner_core::SimEvaluator;
+    use cst_stencil::suite;
+
+    #[test]
+    fn recorder_batches_iterations() {
+        let mut e = SimEvaluator::new(suite::spec_by_name("j3d7pt").unwrap(), GpuArch::a100(), 1);
+        let mut r = Recorder::new(4, 100);
+        for _ in 0..9 {
+            let s = e.random_valid();
+            r.measure(&mut e, s);
+        }
+        let out = r.finish("test", &e).unwrap();
+        // 9 evals at pop 4 → 2 full iterations + 1 flush.
+        assert_eq!(out.curve.len(), 3);
+        assert_eq!(out.curve.last().unwrap().iteration, 3);
+    }
+
+    #[test]
+    fn recorder_respects_iteration_cap() {
+        let mut e = SimEvaluator::new(suite::spec_by_name("j3d7pt").unwrap(), GpuArch::a100(), 2);
+        let mut r = Recorder::new(2, 3);
+        let mut n = 0;
+        while !r.done(&e) && n < 100 {
+            let s = e.random_valid();
+            r.measure(&mut e, s);
+            n += 1;
+        }
+        assert_eq!(n, 6, "3 iterations × pop 2");
+    }
+}

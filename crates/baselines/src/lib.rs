@@ -1,0 +1,35 @@
+//! Re-implementations of the auto-tuners csTuner is evaluated against
+//! (§V-A2):
+//!
+//! - [`RandomSearch`] — uniform random sampling of valid settings, the
+//!   floor any tuner must beat.
+//! - [`OpenTunerGa`] — an OpenTuner-style *global* genetic algorithm over
+//!   the full parameter space, options matched to csTuner's GA; no
+//!   grouping, no model-guided sampling.
+//! - [`GarveyTuner`] — Garvey & Abdelrahman (ICPP'15): a random forest
+//!   predicts the optimal memory type, the remaining parameters are
+//!   grouped *by dimension* (expert knowledge), each group is randomly
+//!   sampled at the configured ratio and searched exhaustively, group by
+//!   group.
+//! - [`ArtemisTuner`] — Rawat et al. (IPDPS'19) style hierarchical
+//!   auto-tuning: high-impact optimizations (chosen per stencil class by
+//!   expert knowledge) are tuned first, a few high-performance candidates
+//!   are kept, and the remaining parameters are tuned greedily per
+//!   candidate.
+//!
+//! All four speak the same [`Tuner`] interface and produce the same
+//! [`TuningOutcome`] curve format as csTuner, so the experiment harness
+//! can run the paper's iso-iteration and iso-time comparisons directly.
+
+pub mod artemis;
+pub mod common;
+pub mod garvey;
+pub mod opentuner;
+pub mod random;
+
+pub use artemis::ArtemisTuner;
+pub use garvey::GarveyTuner;
+pub use opentuner::OpenTunerGa;
+pub use random::RandomSearch;
+
+pub use cstuner_core::{Tuner, TuningOutcome};

@@ -1,0 +1,62 @@
+//! Uniform random search over valid settings.
+
+use crate::common::Recorder;
+use cstuner_core::{Evaluator, TuneError, Tuner, TuningOutcome};
+
+/// The sanity-floor baseline: draw valid settings uniformly and keep the
+/// best. Any informed tuner must beat this at equal budget.
+#[derive(Debug, Clone)]
+pub struct RandomSearch {
+    /// Evaluations per iteration (matched to the GA population).
+    pub pop: usize,
+    /// Iteration cap.
+    pub max_iterations: u32,
+}
+
+impl Default for RandomSearch {
+    fn default() -> Self {
+        RandomSearch { pop: 32, max_iterations: u32::MAX }
+    }
+}
+
+impl Tuner for RandomSearch {
+    fn name(&self) -> &'static str {
+        "Random"
+    }
+
+    fn tune(&mut self, eval: &mut dyn Evaluator, _seed: u64) -> Result<TuningOutcome, TuneError> {
+        let mut rec = Recorder::new(self.pop, self.max_iterations);
+        while !rec.done(eval) {
+            let s = eval.random_valid();
+            rec.measure(eval, s);
+        }
+        rec.finish(self.name(), eval)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cst_gpu_sim::GpuArch;
+    use cstuner_core::SimEvaluator;
+    use cst_stencil::suite;
+
+    #[test]
+    fn random_search_finds_finite_best() {
+        let mut e = SimEvaluator::new(suite::spec_by_name("cheby").unwrap(), GpuArch::a100(), 3);
+        let mut t = RandomSearch { pop: 8, max_iterations: 5 };
+        let out = t.tune(&mut e, 3).unwrap();
+        assert_eq!(out.tuner, "Random");
+        assert!(out.best_time_ms.is_finite());
+        assert_eq!(out.curve.len(), 5);
+    }
+
+    #[test]
+    fn iso_time_budget_stops_search() {
+        let mut e = SimEvaluator::with_budget(suite::spec_by_name("j3d7pt").unwrap(), GpuArch::a100(), 4, 15.0);
+        let mut t = RandomSearch::default();
+        let out = t.tune(&mut e, 4).unwrap();
+        assert!(out.search_s >= 15.0);
+        assert!(out.search_s < 25.0);
+    }
+}

@@ -1,0 +1,129 @@
+//! Criterion micro-benchmarks of the tuner's hot components, one family
+//! per experiment stage:
+//!
+//! - the GPU model evaluation (millions of calls per experiment),
+//! - parameter-space validation and sampling,
+//! - PMNF fitting (the `curve_fit` replacement),
+//! - parameter grouping (Algorithm 1 incl. pairwise CVs),
+//! - one GA generation,
+//! - CUDA code generation,
+//! - a small end-to-end tuning session.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use cst_ga::{GaConfig, GaState, Genome};
+use cst_gpu_sim::{GpuArch, GpuSim, ValidSpace};
+use cst_space::{OptSpace, Setting};
+use cst_stencil::suite;
+use cstuner_core::{
+    group_from_dataset, CsTuner, CsTunerConfig, PerfDataset, SimEvaluator, Tuner,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_sim_eval(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gpu-sim");
+    for name in ["j3d7pt", "rhs4center"] {
+        let spec = suite::spec_by_name(name).unwrap();
+        let sim = GpuSim::new(spec, GpuArch::a100());
+        let s = Setting::baseline();
+        g.bench_function(format!("kernel_time/{name}"), |b| {
+            b.iter(|| black_box(sim.kernel_time_ms(black_box(&s))))
+        });
+        g.bench_function(format!("profile/{name}"), |b| {
+            b.iter(|| black_box(sim.profile(black_box(&s))))
+        });
+    }
+    g.finish();
+}
+
+fn bench_space(c: &mut Criterion) {
+    let mut g = c.benchmark_group("space");
+    let spec = suite::spec_by_name("j3d7pt").unwrap();
+    let space = OptSpace::for_stencil(&spec);
+    let s = Setting::baseline();
+    g.bench_function("check_explicit", |b| b.iter(|| black_box(space.check_explicit(black_box(&s)))));
+    let vs = ValidSpace::new(space, GpuSim::new(spec, GpuArch::a100()));
+    g.bench_function("random_valid", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| black_box(vs.random_valid(&mut rng)))
+    });
+    g.finish();
+}
+
+fn bench_pmnf(c: &mut Criterion) {
+    let mut e = SimEvaluator::new(suite::spec_by_name("cheby").unwrap(), GpuArch::a100(), 2);
+    let ds = PerfDataset::collect(&mut e, 64, 3);
+    let xs = ds.param_values();
+    let y = ds.times();
+    let groups: Vec<Vec<usize>> = (0..cst_space::N_PARAMS).map(|i| vec![i]).collect();
+    c.bench_function("pmnf/fit_64x19", |b| {
+        b.iter(|| {
+            black_box(cst_stats::fit_pmnf(
+                black_box(&xs),
+                black_box(&y),
+                black_box(&groups),
+                &[0, 1, 2],
+                &[0, 1],
+            ))
+        })
+    });
+}
+
+fn bench_grouping(c: &mut Criterion) {
+    let mut e = SimEvaluator::new(suite::spec_by_name("addsgd4").unwrap(), GpuArch::a100(), 4);
+    let ds = PerfDataset::collect(&mut e, 128, 5);
+    c.bench_function("grouping/alg1_128rec", |b| b.iter(|| black_box(group_from_dataset(black_box(&ds)))));
+}
+
+fn bench_ga(c: &mut Criterion) {
+    c.bench_function("ga/step_2x16_13genes", |b| {
+        b.iter_batched(
+            || GaState::new(Genome::new(vec![32; 13]), GaConfig::default(), 7),
+            |mut state| {
+                let mut f = |g: &[u32]| -(g.iter().map(|&v| v as f64).sum::<f64>());
+                state.step(&mut f);
+                black_box(state.best().cloned())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_codegen(c: &mut Criterion) {
+    let mut g = c.benchmark_group("codegen");
+    for name in ["j3d7pt", "rhs4center"] {
+        let kernel = suite::kernel_by_name(name).unwrap();
+        let s = Setting::baseline();
+        g.bench_function(format!("generate/{name}"), |b| {
+            b.iter(|| black_box(cst_codegen::generate_cuda(black_box(&kernel), black_box(&s))))
+        });
+    }
+    g.finish();
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut g = c.benchmark_group("end-to-end");
+    g.sample_size(10);
+    g.bench_function("cstuner/j3d7pt_5iter", |b| {
+        b.iter(|| {
+            let spec = suite::spec_by_name("j3d7pt").unwrap();
+            let mut e = SimEvaluator::new(spec, GpuArch::a100(), 0);
+            let cfg = CsTunerConfig { dataset_size: 48, max_iterations: 5, codegen_cap: 8, ..Default::default() };
+            black_box(CsTuner::new(cfg).tune(&mut e, 0).unwrap().best_time_ms)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sim_eval,
+    bench_space,
+    bench_pmnf,
+    bench_grouping,
+    bench_ga,
+    bench_codegen,
+    bench_end_to_end
+);
+criterion_main!(benches);

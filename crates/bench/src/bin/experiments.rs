@@ -1,0 +1,542 @@
+//! Regenerate the paper's tables and figures.
+//!
+//! ```text
+//! cargo run -p cst-bench --release --bin experiments -- <id> [--quick]
+//! ```
+//!
+//! where `<id>` is one of `table1 table2 table3 fig2 fig3 fig4 fig8 fig9
+//! fig10 fig11 fig12 ablation all`. `--quick` shrinks sample counts and
+//! repetitions for smoke runs. Results print as markdown and are written
+//! as JSON under `results/`.
+
+use cst_bench::landscape::{
+    fraction_at_least, pair_divergence_distribution, sample_landscape, speedup_distribution,
+    top_n_speedup, Landscape,
+};
+use cst_bench::report::{f3, pct, Table};
+use cst_bench::runners::{
+    mean_best_at_iteration, mean_best_at_time, run_cstuner_with_ratio, run_iso_iteration,
+    run_iso_time, sweep, RunResult, TunerKind,
+};
+use cst_gpu_sim::GpuArch;
+use cst_space::{OptSpace, ParamId};
+use cst_stencil::{all_specs, StencilSpec};
+use cstuner_core::{CsTuner, CsTunerConfig, SamplingConfig, SimEvaluator, Tuner};
+use std::path::PathBuf;
+
+/// Experiment scale knobs.
+struct Scale {
+    landscape_n: usize,
+    seeds: u64,
+    ratio_seeds: u64,
+    iso_iterations: u32,
+    budget_s: f64,
+}
+
+impl Scale {
+    /// Full scale. The paper repeats every tuning run 10×; on this
+    /// single-core reproduction box we default to 5 repetitions to keep
+    /// the whole suite under an hour — pass `--seeds N` to override.
+    fn full() -> Self {
+        Scale { landscape_n: 20_000, seeds: 5, ratio_seeds: 2, iso_iterations: 10, budget_s: 100.0 }
+    }
+
+    fn quick() -> Self {
+        Scale { landscape_n: 2_000, seeds: 2, ratio_seeds: 1, iso_iterations: 4, budget_s: 30.0 }
+    }
+}
+
+fn results_dir() -> PathBuf {
+    PathBuf::from("results")
+}
+
+fn emit(table: Table, raw: &impl serde::Serialize) {
+    println!("{}", table.to_markdown());
+    if let Err(e) = table.write_json(&results_dir(), raw) {
+        eprintln!("warning: could not write {}.json: {e}", table.id);
+    }
+}
+
+// ---------------------------------------------------------------- tables --
+
+fn table1() {
+    let space = OptSpace::for_grid([512, 512, 512]);
+    let mut t = Table::new(
+        "table1",
+        "Table I — the parameterized optimization space (512³ grid)",
+        &["Optimization", "Parameter", "Range (live values)"],
+    );
+    for p in ParamId::ALL {
+        let vals = space.values(p);
+        let range = if vals.len() <= 3 {
+            format!("{{{}}}", vals.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(", "))
+        } else {
+            format!("[{}, {}] pow2 ({} values)", vals[0], vals.last().unwrap(), vals.len())
+        };
+        t.push(vec![p.optimization().to_string(), p.name().to_string(), range]);
+    }
+    let log10 = space.log10_unconstrained_size();
+    println!("Unconstrained space: 10^{log10:.1} settings (paper: >10^8 after explicit constraints)\n");
+    emit(t, &log10);
+}
+
+fn table2() {
+    let mut t = Table::new(
+        "table2",
+        "Table II — simulated hardware standing in for the testbeds",
+        &["Field", "A100 (sim)", "V100 (sim)"],
+    );
+    let a = GpuArch::a100();
+    let v = GpuArch::v100();
+    let rows: Vec<(&str, String, String)> = vec![
+        ("SMs", a.sm_count.to_string(), v.sm_count.to_string()),
+        ("DRAM GB/s", a.dram_gbps.to_string(), v.dram_gbps.to_string()),
+        ("FP64 GFLOP/s", a.fp64_gflops.to_string(), v.fp64_gflops.to_string()),
+        ("L2 MiB", (a.l2_bytes / 1024 / 1024).to_string(), (v.l2_bytes / 1024 / 1024).to_string()),
+        ("Shared/SM KiB", (a.shmem_per_sm / 1024).to_string(), (v.shmem_per_sm / 1024).to_string()),
+        ("Registers/SM", a.regs_per_sm.to_string(), v.regs_per_sm.to_string()),
+    ];
+    for (k, av, vv) in rows {
+        t.push(vec![k.to_string(), av, vv]);
+    }
+    emit(t, &"static");
+}
+
+fn table3() {
+    let mut t = Table::new(
+        "table3",
+        "Table III — stencils used for evaluation",
+        &["Stencil", "Input Grid", "Order", "# FLOPs", "# I/O Arrays"],
+    );
+    for s in all_specs() {
+        t.push(vec![
+            s.name.to_string(),
+            format!("{}×{}×{}", s.grid[0], s.grid[1], s.grid[2]),
+            s.order.to_string(),
+            s.flops.to_string(),
+            s.io_arrays.to_string(),
+        ]);
+    }
+    emit(t, &"static");
+}
+
+// --------------------------------------------------------------- figures --
+
+fn landscapes(scale: &Scale) -> Vec<Landscape> {
+    all_specs()
+        .iter()
+        .map(|s| sample_landscape(s, &GpuArch::a100(), scale.landscape_n, 0xf16))
+        .collect()
+}
+
+fn fig2(scale: &Scale) {
+    let ls = landscapes(scale);
+    let mut t = Table::new(
+        "fig2",
+        "Fig. 2 — speedup distribution of settings over the optimum",
+        &["Stencil", "[0,0.2)", "[0.2,0.4)", "[0.4,0.6)", "[0.6,0.8)", "[0.8,1.0]"],
+    );
+    let mut raw = Vec::new();
+    let mut avg_top = 0.0;
+    let mut avg_bottom = 0.0;
+    for l in &ls {
+        let bins = speedup_distribution(l);
+        avg_top += fraction_at_least(l, 0.8);
+        avg_bottom += bins[0];
+        t.push(
+            std::iter::once(l.stencil.to_string())
+                .chain(bins.iter().map(|&b| pct(b)))
+                .collect(),
+        );
+        raw.push((l.stencil, bins));
+    }
+    let n = ls.len() as f64;
+    println!(
+        "Average within-20%-of-optimum fraction: {} (paper: 5.1%); ≥5× slowdown fraction: {} (paper: 24.2%)\n",
+        pct(avg_top / n),
+        pct(avg_bottom / n)
+    );
+    emit(t, &raw);
+}
+
+fn fig3(scale: &Scale) {
+    let ls = landscapes(scale);
+    let mut t = Table::new(
+        "fig3",
+        "Fig. 3 — distribution of parameter-pair divergence from the optimum",
+        &["Stencil", "[0,20)%", "[20,40)%", "[40,60)%", "[60,80)%", "[80,100]%"],
+    );
+    let mut raw = Vec::new();
+    let mut avg_diverging = 0.0;
+    let mut avg_gt40 = 0.0;
+    for l in &ls {
+        let bins = pair_divergence_distribution(l);
+        avg_diverging += 1.0 - bins[0];
+        avg_gt40 += bins[2] + bins[3] + bins[4];
+        t.push(
+            std::iter::once(l.stencil.to_string())
+                .chain(bins.iter().map(|&b| pct(b)))
+                .collect(),
+        );
+        raw.push((l.stencil, bins));
+    }
+    let n = ls.len() as f64;
+    println!(
+        "Average pairs diverging from optimum: {} (paper: 28.6% incl. weak pairs); >40% divergence: {} (paper: 22.3%)\n",
+        pct(avg_diverging / n),
+        pct(avg_gt40 / n)
+    );
+    emit(t, &raw);
+}
+
+fn fig4(scale: &Scale) {
+    let ls = landscapes(scale);
+    let mut t = Table::new(
+        "fig4",
+        "Fig. 4 — speedup of the top-n settings over the optimum",
+        &["Stencil", "top-10", "top-50", "top-100"],
+    );
+    let mut raw = Vec::new();
+    let mut sums = [0.0; 3];
+    for l in &ls {
+        let s = [top_n_speedup(l, 10), top_n_speedup(l, 50), top_n_speedup(l, 100)];
+        for (acc, v) in sums.iter_mut().zip(s) {
+            *acc += v;
+        }
+        t.push(vec![l.stencil.to_string(), pct(s[0]), pct(s[1]), pct(s[2])]);
+        raw.push((l.stencil, s));
+    }
+    let n = ls.len() as f64;
+    t.push(vec![
+        "**average**".to_string(),
+        pct(sums[0] / n),
+        pct(sums[1] / n),
+        pct(sums[2] / n),
+    ]);
+    println!("(paper averages: 96.7% / 92.4% / 90.1%)\n");
+    emit(t, &raw);
+}
+
+fn curve_table(
+    id: &str,
+    title: &str,
+    runs: &[RunResult],
+    specs: &[StencilSpec],
+    columns: &[(String, Box<dyn Fn(&[&RunResult]) -> Option<f64>>)],
+) {
+    let mut t = Table::new(
+        id,
+        title,
+        &std::iter::once("Stencil / Tuner")
+            .chain(columns.iter().map(|(h, _)| h.as_str()))
+            .collect::<Vec<_>>(),
+    );
+    for spec in specs {
+        for kind in TunerKind::PAPER {
+            let subset: Vec<&RunResult> = runs
+                .iter()
+                .filter(|r| r.stencil == spec.name && r.tuner == kind.name())
+                .collect();
+            if subset.is_empty() {
+                continue;
+            }
+            let mut row = vec![format!("{} / {}", spec.name, kind.name())];
+            for (_, f) in columns {
+                row.push(f(&subset).map(f3).unwrap_or_else(|| "–".to_string()));
+            }
+            t.push(row);
+        }
+    }
+    emit(t, &runs);
+}
+
+fn fig8(scale: &Scale) {
+    let specs = all_specs();
+    let iters = scale.iso_iterations;
+    let runs = sweep(&specs, &TunerKind::PAPER, scale.seeds, |s, k, seed| {
+        run_iso_iteration(s, &GpuArch::a100(), k, iters, seed)
+    });
+    let marks: Vec<u32> = (1..=iters).collect();
+    let columns: Vec<(String, Box<dyn Fn(&[&RunResult]) -> Option<f64>>)> = marks
+        .into_iter()
+        .map(|i| {
+            (
+                format!("it {i}"),
+                Box::new(move |rs: &[&RunResult]| mean_best_at_iteration(rs, i))
+                    as Box<dyn Fn(&[&RunResult]) -> Option<f64>>,
+            )
+        })
+        .collect();
+    curve_table(
+        "fig8",
+        "Fig. 8 — iso-iteration comparison (mean best kernel ms; '–' = not yet / space exhausted)",
+        &runs,
+        &specs,
+        &columns,
+    );
+}
+
+fn fig9(scale: &Scale) {
+    let specs = all_specs();
+    let budget = scale.budget_s;
+    let runs = sweep(&specs, &TunerKind::PAPER, scale.seeds, |s, k, seed| {
+        run_iso_time(s, &GpuArch::a100(), k, budget, seed)
+    });
+    let marks: Vec<f64> = [0.1, 0.2, 0.4, 0.6, 0.8, 1.0].iter().map(|f| f * budget).collect();
+    let columns: Vec<(String, Box<dyn Fn(&[&RunResult]) -> Option<f64>>)> = marks
+        .into_iter()
+        .map(|t_s| {
+            (
+                format!("{t_s:.0}s"),
+                Box::new(move |rs: &[&RunResult]| mean_best_at_time(rs, t_s))
+                    as Box<dyn Fn(&[&RunResult]) -> Option<f64>>,
+            )
+        })
+        .collect();
+    curve_table(
+        "fig9",
+        "Fig. 9 — iso-time comparison on A100 (mean best kernel ms)",
+        &runs,
+        &specs,
+        &columns,
+    );
+}
+
+fn fig10(scale: &Scale) {
+    let specs = all_specs();
+    let budget = scale.budget_s;
+    let runs = sweep(&specs, &TunerKind::PAPER, scale.seeds, |s, k, seed| {
+        run_iso_time(s, &GpuArch::v100(), k, budget, seed)
+    });
+    let mut t = Table::new(
+        "fig10",
+        "Fig. 10 — iso-time performance on V100, normalized to Garvey (higher is better)",
+        &["Stencil", "csTuner", "Garvey", "OpenTuner", "Artemis"],
+    );
+    let mean_final = |stencil: &str, tuner: &str| -> f64 {
+        let rs: Vec<&RunResult> =
+            runs.iter().filter(|r| r.stencil == stencil && r.tuner == tuner).collect();
+        rs.iter().map(|r| r.best_ms).sum::<f64>() / rs.len() as f64
+    };
+    let mut speedup_over = [0.0f64; 3]; // Garvey, OpenTuner, Artemis
+    for spec in &specs {
+        let g = mean_final(spec.name, "Garvey");
+        let cs = mean_final(spec.name, "csTuner");
+        let ot = mean_final(spec.name, "OpenTuner");
+        let ar = mean_final(spec.name, "Artemis");
+        speedup_over[0] += g / cs;
+        speedup_over[1] += ot / cs;
+        speedup_over[2] += ar / cs;
+        t.push(vec![
+            spec.name.to_string(),
+            f3(g / cs),
+            "1.000".to_string(),
+            f3(g / ot),
+            f3(g / ar),
+        ]);
+    }
+    let n = specs.len() as f64;
+    println!(
+        "csTuner average speedup: {}× over Garvey (paper 1.7×), {}× over OpenTuner (paper 1.2×), {}× over Artemis (paper 1.3×)\n",
+        f3(speedup_over[0] / n),
+        f3(speedup_over[1] / n),
+        f3(speedup_over[2] / n)
+    );
+    emit(t, &runs);
+}
+
+fn fig11(scale: &Scale) {
+    let specs = all_specs();
+    let ratios: Vec<f64> = (1..=10).map(|k| k as f64 * 0.05).collect();
+    let budget = scale.budget_s;
+    let seeds = scale.ratio_seeds;
+    let mut jobs = Vec::new();
+    for spec in &specs {
+        for &r in &ratios {
+            for seed in 0..seeds {
+                jobs.push((spec.clone(), r, seed));
+            }
+        }
+    }
+    use rayon::prelude::*;
+    let runs: Vec<(String, f64, RunResult)> = jobs
+        .par_iter()
+        .map(|(spec, r, seed)| {
+            (spec.name.to_string(), *r, run_cstuner_with_ratio(spec, &GpuArch::a100(), *r, budget, *seed))
+        })
+        .collect();
+    let mut t = Table::new(
+        "fig11",
+        "Fig. 11 — csTuner iso-time best (ms) vs. sampling ratio",
+        &std::iter::once("Stencil".to_string())
+            .chain(ratios.iter().map(|r| format!("{:.0}%", r * 100.0)))
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>()
+            .iter()
+            .map(|s| s.as_str())
+            .collect::<Vec<_>>(),
+    );
+    for spec in &specs {
+        let mut row = vec![spec.name.to_string()];
+        for &r in &ratios {
+            let vals: Vec<f64> = runs
+                .iter()
+                .filter(|(n, rr, _)| n == spec.name && (*rr - r).abs() < 1e-9)
+                .map(|(_, _, run)| run.best_ms)
+                .collect();
+            row.push(f3(vals.iter().sum::<f64>() / vals.len() as f64));
+        }
+        t.push(row);
+    }
+    let raw: Vec<(String, f64, f64)> = runs.iter().map(|(n, r, run)| (n.clone(), *r, run.best_ms)).collect();
+    emit(t, &raw);
+}
+
+fn fig12(scale: &Scale) {
+    let specs = all_specs();
+    let mut t = Table::new(
+        "fig12",
+        "Fig. 12 — pre-processing breakdown normalized to the search time",
+        &["Stencil", "grouping", "sampling", "codegen", "total preproc"],
+    );
+    let mut raw = Vec::new();
+    let mut avg_total = 0.0;
+    for spec in &specs {
+        let mut eval = SimEvaluator::with_budget(spec.clone(), GpuArch::a100(), 0, scale.budget_s);
+        let mut tuner = CsTuner::new(CsTunerConfig::default());
+        let out = tuner.tune(&mut eval, 0).expect("tuning run failed");
+        let search = out.search_s.max(1e-9);
+        let g = out.preproc.grouping_s / search;
+        let s = out.preproc.sampling_s / search;
+        let c = out.preproc.codegen_s / search;
+        avg_total += g + s + c;
+        t.push(vec![spec.name.to_string(), pct(g), pct(s), pct(c), pct(g + s + c)]);
+        raw.push((spec.name, [g, s, c]));
+    }
+    println!(
+        "Average pre-processing share: {} of search time (paper: 0.76%)\n",
+        pct(avg_total / specs.len() as f64)
+    );
+    emit(t, &raw);
+}
+
+fn ablation(scale: &Scale) {
+    let specs = all_specs();
+    let budget = scale.budget_s;
+    let seeds = scale.ratio_seeds;
+    let variants: Vec<(&str, Box<dyn Fn() -> CsTunerConfig + Sync>)> = vec![
+        ("full", Box::new(CsTunerConfig::default)),
+        (
+            "no-grouping",
+            Box::new(|| CsTunerConfig { flat_grouping: true, ..Default::default() }),
+        ),
+        (
+            "random-sampling",
+            Box::new(|| CsTunerConfig {
+                sampling: SamplingConfig { random_mode: Some(7), ..Default::default() },
+                ..Default::default()
+            }),
+        ),
+        (
+            "no-approximation",
+            Box::new(|| CsTunerConfig { cv_threshold: 0.0, ..Default::default() }),
+        ),
+        (
+            "no-migration",
+            Box::new(|| {
+                let mut c = CsTunerConfig::default();
+                c.ga.migration_interval = u32::MAX;
+                c
+            }),
+        ),
+    ];
+    use rayon::prelude::*;
+    let mut jobs = Vec::new();
+    for spec in &specs {
+        for (vi, _) in variants.iter().enumerate() {
+            for seed in 0..seeds {
+                jobs.push((spec.clone(), vi, seed));
+            }
+        }
+    }
+    let runs: Vec<(String, usize, f64)> = jobs
+        .par_iter()
+        .map(|(spec, vi, seed)| {
+            let mut eval = SimEvaluator::with_budget(spec.clone(), GpuArch::a100(), *seed, budget);
+            let mut tuner = CsTuner::new(variants[*vi].1());
+            let out = tuner.tune(&mut eval, *seed).expect("tuning run failed");
+            (spec.name.to_string(), *vi, out.best_time_ms)
+        })
+        .collect();
+    let mut t = Table::new(
+        "ablation",
+        "Ablation — csTuner variants, iso-time best (ms)",
+        &std::iter::once("Stencil")
+            .chain(variants.iter().map(|(n, _)| *n))
+            .collect::<Vec<_>>(),
+    );
+    for spec in &specs {
+        let mut row = vec![spec.name.to_string()];
+        for (vi, _) in variants.iter().enumerate() {
+            let vals: Vec<f64> = runs
+                .iter()
+                .filter(|(n, v, _)| n == spec.name && *v == vi)
+                .map(|(_, _, b)| *b)
+                .collect();
+            row.push(f3(vals.iter().sum::<f64>() / vals.len() as f64));
+        }
+        t.push(row);
+    }
+    emit(t, &runs);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let mut scale = if quick { Scale::quick() } else { Scale::full() };
+    if let Some(pos) = args.iter().position(|a| a == "--seeds") {
+        if let Some(n) = args.get(pos + 1).and_then(|s| s.parse().ok()) {
+            scale.seeds = n;
+        }
+    }
+    let ids: Vec<&str> = args
+        .iter()
+        .enumerate()
+        .filter(|(i, a)| {
+            !a.starts_with("--")
+                && !(*i > 0 && args[i - 1] == "--seeds")
+        })
+        .map(|(_, s)| s.as_str())
+        .collect();
+    let ids: Vec<&str> = if ids.is_empty() || ids.contains(&"all") {
+        vec![
+            "table1", "table2", "table3", "fig2", "fig3", "fig4", "fig8", "fig9", "fig10",
+            "fig11", "fig12", "ablation",
+        ]
+    } else {
+        ids
+    };
+    for id in ids {
+        eprintln!("== running {id} ==");
+        let t0 = std::time::Instant::now();
+        match id {
+            "table1" => table1(),
+            "table2" => table2(),
+            "table3" => table3(),
+            "fig2" => fig2(&scale),
+            "fig3" => fig3(&scale),
+            "fig4" => fig4(&scale),
+            "fig8" => fig8(&scale),
+            "fig9" => fig9(&scale),
+            "fig10" => fig10(&scale),
+            "fig11" => fig11(&scale),
+            "fig12" => fig12(&scale),
+            "ablation" => ablation(&scale),
+            other => {
+                eprintln!("unknown experiment `{other}`; see --help text in the module docs");
+                std::process::exit(2);
+            }
+        }
+        eprintln!("== {id} done in {:.1}s ==\n", t0.elapsed().as_secs_f64());
+    }
+}

@@ -1,0 +1,211 @@
+//! §III motivation studies: properties of the performance landscape.
+//!
+//! The paper samples >20,000 parameter settings per stencil to establish
+//! three observations: high-performance settings are rare (Fig. 2),
+//! parameters interact pairwise (Fig. 3), and the top-n settings are
+//! nearly as good as the optimum (Fig. 4). These utilities regenerate the
+//! same statistics from the simulated landscape.
+
+use cst_gpu_sim::{GpuArch, GpuSim, ValidSpace};
+use cst_space::{OptSpace, ParamId, Setting};
+use cst_stencil::StencilSpec;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rayon::prelude::*;
+
+/// A sampled landscape: settings with their modeled times, plus the sample
+/// optimum.
+#[derive(Debug, Clone)]
+pub struct Landscape {
+    /// Stencil name.
+    pub stencil: &'static str,
+    /// Sampled (setting, time) pairs, unsorted.
+    pub samples: Vec<(Setting, f64)>,
+    /// Fastest sampled time.
+    pub best_ms: f64,
+    /// The fastest sampled setting.
+    pub best_setting: Setting,
+}
+
+/// Sample `n` distinct valid settings of a stencil and model their times.
+/// Parallelized over chunks; deterministic given `seed`.
+pub fn sample_landscape(spec: &StencilSpec, arch: &GpuArch, n: usize, seed: u64) -> Landscape {
+    let chunks: usize = 16;
+    let per = n.div_ceil(chunks);
+    let all: Vec<(Setting, f64)> = (0..chunks)
+        .into_par_iter()
+        .flat_map_iter(|c| {
+            let space = OptSpace::for_stencil(spec);
+            let sim = GpuSim::new(spec.clone(), arch.clone());
+            let vs = ValidSpace::new(space, sim);
+            let mut rng = StdRng::seed_from_u64(seed ^ (c as u64).wrapping_mul(0x9e37_79b9));
+            let mut out = Vec::with_capacity(per);
+            let mut seen = std::collections::HashSet::with_capacity(per);
+            while out.len() < per {
+                let s = vs.random_valid(&mut rng);
+                if !seen.insert(s) {
+                    continue;
+                }
+                out.push((s, vs.sim().kernel_time_ms(&s)));
+            }
+            out
+        })
+        .collect();
+    let mut samples = all;
+    samples.truncate(n);
+    let (best_setting, best_ms) = samples
+        .iter()
+        .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+        .map(|(s, t)| (*s, *t))
+        .expect("non-empty landscape");
+    Landscape { stencil: spec.name, samples, best_ms, best_setting }
+}
+
+/// Fig. 2: fraction of settings per speedup-over-optimum bin
+/// `[0, 0.2), [0.2, 0.4), [0.4, 0.6), [0.6, 0.8), [0.8, 1.0]`,
+/// where speedup = optimum_time / setting_time (≤ 1).
+pub fn speedup_distribution(l: &Landscape) -> [f64; 5] {
+    let mut bins = [0usize; 5];
+    for &(_, t) in &l.samples {
+        let sp = if t.is_finite() { (l.best_ms / t).clamp(0.0, 1.0) } else { 0.0 };
+        let b = ((sp * 5.0) as usize).min(4);
+        bins[b] += 1;
+    }
+    let n = l.samples.len() as f64;
+    bins.map(|c| c as f64 / n)
+}
+
+/// Fraction of settings achieving a speedup of at least `threshold` over
+/// the optimum (e.g. 0.8 for "within 20% of optimal").
+pub fn fraction_at_least(l: &Landscape, threshold: f64) -> f64 {
+    let hits = l
+        .samples
+        .iter()
+        .filter(|(_, t)| t.is_finite() && l.best_ms / t >= threshold)
+        .count();
+    hits as f64 / l.samples.len() as f64
+}
+
+/// Fig. 3: per ordered parameter pair `(a, b)`, the fraction of `a`'s
+/// observed values whose conditional-best `b` value differs from the
+/// optimum's `b` value; returns the distribution of those fractions over
+/// all pairs, binned `[0,20) … [80,100]` percent.
+pub fn pair_divergence_distribution(l: &Landscape) -> [f64; 5] {
+    let pair_pcts = pair_divergences(l);
+    let mut bins = [0usize; 5];
+    for &p in &pair_pcts {
+        let b = ((p * 5.0) as usize).min(4);
+        bins[b] += 1;
+    }
+    let n = pair_pcts.len() as f64;
+    bins.map(|c| c as f64 / n)
+}
+
+/// The raw per-pair divergence fractions behind Fig. 3.
+pub fn pair_divergences(l: &Landscape) -> Vec<f64> {
+    let best = &l.best_setting;
+    let mut out = Vec::with_capacity(ParamId::ALL.len() * (ParamId::ALL.len() - 1));
+    // Pre-index: for each parameter value, the best sample.
+    for a in ParamId::ALL {
+        // value of a -> (best time, b-values of that record)
+        let mut cond: std::collections::HashMap<u32, (f64, Setting)> = std::collections::HashMap::new();
+        for &(s, t) in &l.samples {
+            if !t.is_finite() {
+                continue;
+            }
+            let e = cond.entry(s.get(a)).or_insert((t, s));
+            if t < e.0 {
+                *e = (t, s);
+            }
+        }
+        for b in ParamId::ALL {
+            if a == b {
+                continue;
+            }
+            let total = cond.len();
+            if total == 0 {
+                out.push(0.0);
+                continue;
+            }
+            let diff = cond.values().filter(|(_, s)| s.get(b) != best.get(b)).count();
+            out.push(diff as f64 / total as f64);
+        }
+    }
+    out
+}
+
+/// Fig. 4: speedup of the n-th best setting over the optimum.
+pub fn top_n_speedup(l: &Landscape, n: usize) -> f64 {
+    let mut times: Vec<f64> = l.samples.iter().map(|&(_, t)| t).filter(|t| t.is_finite()).collect();
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let idx = n.min(times.len()).saturating_sub(1);
+    l.best_ms / times[idx]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cst_stencil::suite;
+
+    fn small_landscape(name: &str) -> Landscape {
+        sample_landscape(&suite::spec_by_name(name).unwrap(), &GpuArch::a100(), 2000, 7)
+    }
+
+    #[test]
+    fn landscape_has_requested_size_and_valid_best() {
+        let l = small_landscape("j3d7pt");
+        assert_eq!(l.samples.len(), 2000);
+        assert!(l.best_ms.is_finite());
+        assert!(l.samples.iter().all(|(_, t)| *t >= l.best_ms));
+    }
+
+    #[test]
+    fn speedup_bins_sum_to_one() {
+        let l = small_landscape("cheby");
+        let bins = speedup_distribution(&l);
+        assert!((bins.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn landscape_is_biased_toward_poor_settings() {
+        // The §III-A observation: few settings near-optimal, many ≥ 5×
+        // slower (speedup < 0.2).
+        let l = small_landscape("rhs4center");
+        let near_optimal = fraction_at_least(&l, 0.8);
+        let very_poor = speedup_distribution(&l)[0];
+        assert!(near_optimal < 0.25, "near-optimal fraction {near_optimal}");
+        assert!(very_poor > 0.05, "very-poor fraction {very_poor}");
+        assert!(very_poor > near_optimal, "distribution must lean poor");
+    }
+
+    #[test]
+    fn pair_divergence_nonzero() {
+        // §III-B: a meaningful share of pairs disagrees with the optimum.
+        let l = small_landscape("j3d27pt");
+        let pcts = pair_divergences(&l);
+        let avg = pcts.iter().sum::<f64>() / pcts.len() as f64;
+        assert!(avg > 0.05, "pairs look independent: avg divergence {avg}");
+        let bins = pair_divergence_distribution(&l);
+        assert!((bins.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn top_n_speedups_are_high_and_decreasing() {
+        // §III-C: top-10/50/100 settings are close to the optimum.
+        let l = small_landscape("helmholtz");
+        let s10 = top_n_speedup(&l, 10);
+        let s50 = top_n_speedup(&l, 50);
+        let s100 = top_n_speedup(&l, 100);
+        assert!(s10 >= s50 && s50 >= s100);
+        assert!(s10 > 0.7, "top-10 speedup {s10}");
+        assert!(s100 > 0.4, "top-100 speedup {s100}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = small_landscape("j3d7pt");
+        let b = small_landscape("j3d7pt");
+        assert_eq!(a.best_ms, b.best_ms);
+        assert_eq!(a.samples.len(), b.samples.len());
+    }
+}

@@ -1,0 +1,122 @@
+//! Result serialization and markdown rendering.
+//!
+//! Every experiment produces a [`Table`]: a header row plus data rows.
+//! Tables render to GitHub markdown for EXPERIMENTS.md and serialize to
+//! JSON under `results/` so downstream tooling can re-plot the figures.
+
+use serde::Serialize;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// A rendered experiment table.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table {
+    /// Experiment identifier, e.g. `"fig2"`.
+    pub id: String,
+    /// Human title, e.g. `"Fig. 2 — speedup distribution"`.
+    pub title: String,
+    /// Column headers.
+    pub header: Vec<String>,
+    /// Data rows (already formatted as strings).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Create a table with headers.
+    pub fn new(id: &str, title: &str, header: &[&str]) -> Self {
+        Table {
+            id: id.to_string(),
+            title: title.to_string(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    ///
+    /// # Panics
+    /// Panics if the arity differs from the header.
+    pub fn push(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(row);
+    }
+
+    /// Render as GitHub-flavored markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut s = String::new();
+        writeln!(s, "### {}", self.title).unwrap();
+        writeln!(s).unwrap();
+        writeln!(s, "| {} |", self.header.join(" | ")).unwrap();
+        writeln!(s, "|{}|", self.header.iter().map(|_| "---").collect::<Vec<_>>().join("|")).unwrap();
+        for row in &self.rows {
+            writeln!(s, "| {} |", row.join(" | ")).unwrap();
+        }
+        s
+    }
+
+    /// Write the table (plus arbitrary raw payload) as JSON into
+    /// `dir/<id>.json`.
+    pub fn write_json<T: Serialize>(&self, dir: &Path, raw: &T) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        #[derive(Serialize)]
+        struct Payload<'a, T> {
+            table: &'a Table,
+            raw: &'a T,
+        }
+        let f = std::fs::File::create(dir.join(format!("{}.json", self.id)))?;
+        serde_json::to_writer_pretty(f, &Payload { table: self, raw }).map_err(std::io::Error::other)
+    }
+}
+
+/// Format a float with 3 significant decimals.
+pub fn f3(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.3}")
+    } else {
+        "∞".to_string()
+    }
+}
+
+/// Format a fraction as a percentage.
+pub fn pct(v: f64) -> String {
+    format!("{:.1}%", v * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_renders_header_and_rows() {
+        let mut t = Table::new("t1", "Test", &["a", "b"]);
+        t.push(vec!["1".into(), "2".into()]);
+        let md = t.to_markdown();
+        assert!(md.contains("### Test"));
+        assert!(md.contains("| a | b |"));
+        assert!(md.contains("| 1 | 2 |"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn arity_mismatch_panics() {
+        let mut t = Table::new("t", "T", &["a"]);
+        t.push(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let dir = std::env::temp_dir().join("cst-bench-test");
+        let t = Table::new("demo", "Demo", &["x"]);
+        t.write_json(&dir, &vec![1, 2, 3]).unwrap();
+        let body = std::fs::read_to_string(dir.join("demo.json")).unwrap();
+        assert!(body.contains("\"id\": \"demo\""));
+        assert!(body.contains("\"raw\""));
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(f3(1.23456), "1.235");
+        assert_eq!(f3(f64::INFINITY), "∞");
+        assert_eq!(pct(0.051), "5.1%");
+    }
+}

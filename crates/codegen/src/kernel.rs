@@ -1,0 +1,503 @@
+//! CUDA kernel source emission.
+
+use crate::launch::LaunchConfig;
+use cst_space::Setting;
+use cst_stencil::{ArrayRef, Factor, KernelDef, StencilKernel, TapStencil, Term};
+use std::fmt::Write as _;
+
+/// A generated CUDA translation unit plus its launch configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CudaSource {
+    /// Full CUDA C source text.
+    pub code: String,
+    /// Matching launch configuration.
+    pub launch: LaunchConfig,
+    /// Kernel function name.
+    pub kernel_name: String,
+}
+
+/// Emission context threaded through expression generation.
+#[derive(Clone, Copy)]
+struct Ctx {
+    /// Shared-memory staging enabled (kernel body only).
+    staged: bool,
+    /// Streaming window indexing for the staged tile.
+    streaming: bool,
+    /// Coefficients come from the `__constant__` table.
+    const_mem: bool,
+    /// Emitting inside a `__device__` recompute helper (no shared tile,
+    /// no temp registers — temps call their helper).
+    in_device: bool,
+}
+
+fn array_ident(r: ArrayRef) -> String {
+    match r {
+        ArrayRef::Input(i) => format!("in{i}"),
+        ArrayRef::Temp(i) => format!("t{i}"),
+        ArrayRef::Output(i) => format!("out{i}"),
+    }
+}
+
+/// Read expression for one grid point of an array at offsets (dx, dy, dz).
+///
+/// Temporaries with a zero offset in the kernel body come from the local
+/// register; any offset (or any use inside a device helper) re-computes the
+/// producing stage through its `t{i}_at` helper, exactly as an inlining
+/// code generator would.
+fn point_expr(r: ArrayRef, dx: i32, dy: i32, dz: i32, ctx: Ctx) -> String {
+    match r {
+        ArrayRef::Temp(i) => {
+            if dx == 0 && dy == 0 && dz == 0 && !ctx.in_device {
+                format!("t{i}")
+            } else {
+                format!("t{i}_at(PASS_ARGS, x + ({dx}), y + ({dy}), z + ({dz}))")
+            }
+        }
+        _ => {
+            let name = array_ident(r);
+            if ctx.staged && !ctx.in_device && matches!(r, ArrayRef::Input(_)) {
+                if ctx.streaming {
+                    // Staged plane window: z offset selects the window slot.
+                    format!("s_{name}[W({dz})][ly + ({dy})][lx + ({dx})]")
+                } else {
+                    format!("s_{name}[lz + ({dz})][ly + ({dy})][lx + ({dx})]")
+                }
+            } else {
+                format!("{name}[IDX(x + ({dx}), y + ({dy}), z + ({dz}))]")
+            }
+        }
+    }
+}
+
+fn tap_expr(r: ArrayRef, taps: &TapStencil, ctx: Ctx, coeff_idx: &mut usize) -> String {
+    let mut parts = Vec::with_capacity(taps.len());
+    for t in taps.taps() {
+        let p = point_expr(r, t.dx, t.dy, t.dz, ctx);
+        if t.coeff == 1.0 {
+            parts.push(p);
+        } else if t.coeff == -1.0 {
+            parts.push(format!("-{p}"));
+        } else {
+            let c = if ctx.const_mem {
+                let e = format!("c_coeff[{}]", *coeff_idx);
+                *coeff_idx += 1;
+                e
+            } else {
+                format!("{:?}", t.coeff)
+            };
+            parts.push(format!("{c} * {p}"));
+        }
+    }
+    parts.join(" + ")
+}
+
+fn term_exprs(terms: &[Term], ctx: Ctx, coeff_idx: &mut usize) -> Vec<String> {
+    let mut out = Vec::with_capacity(terms.len());
+    for t in terms {
+        let mut fparts = Vec::with_capacity(t.factors.len());
+        for f in &t.factors {
+            match f {
+                Factor::Point(a) => fparts.push(point_expr(*a, 0, 0, 0, ctx)),
+                Factor::Taps(a, taps) => fparts.push(format!("({})", tap_expr(*a, taps, ctx, coeff_idx))),
+            }
+        }
+        let prod = fparts.join(" * ");
+        if t.coeff == 1.0 {
+            out.push(prod);
+        } else if t.coeff == -1.0 {
+            out.push(format!("-({prod})"));
+        } else {
+            let cexpr = if ctx.const_mem {
+                let e = format!("c_coeff[{}]", *coeff_idx);
+                *coeff_idx += 1;
+                e
+            } else {
+                format!("{:?}", t.coeff)
+            };
+            out.push(format!("{cexpr} * ({prod})"));
+        }
+    }
+    out
+}
+
+fn input_params(def: &KernelDef) -> String {
+    (0..def.n_inputs)
+        .map(|i| format!("const double* __restrict__ in{i}"))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+fn input_args(def: &KernelDef) -> String {
+    (0..def.n_inputs).map(|i| format!("in{i}")).collect::<Vec<_>>().join(", ")
+}
+
+/// Generate a complete CUDA kernel for `kernel` under setting `s`.
+///
+/// The emitted source reflects every tuning decision:
+/// - thread-block shape and merging/streaming index arithmetic,
+/// - `__shared__` tiles with halo loads and `__syncthreads()`,
+/// - the streaming loop over the chosen dimension with optional
+///   prefetch double-buffering,
+/// - `#pragma unroll` factors on the per-thread loops,
+/// - a `__constant__` coefficient table when constant memory is on,
+/// - retiming: each term accumulated as a separate sub-computation,
+/// - cascaded stages inlined through `__device__` recompute helpers.
+pub fn generate_cuda(kernel: &StencilKernel, s: &Setting) -> CudaSource {
+    let spec = &kernel.spec;
+    let def = &kernel.def;
+    let launch = LaunchConfig::for_setting(spec, s);
+    let kernel_name = format!("{}_kernel", spec.name);
+    let streaming = s.use_streaming();
+    let sd = s.sd_axis();
+    let ctx_body = Ctx {
+        staged: s.use_shared(),
+        streaming,
+        const_mem: s.use_constant(),
+        in_device: false,
+    };
+    let ctx_dev = Ctx { staged: false, streaming: false, const_mem: s.use_constant(), in_device: true };
+    let uf = s.uf();
+    let [nx, ny, nz] = spec.grid;
+    let h = spec.halo();
+
+    let mut c = String::with_capacity(16 * 1024);
+    let w = &mut c;
+    writeln!(w, "// Auto-generated by csTuner codegen").unwrap();
+    writeln!(w, "// stencil: {} (order {}, {} flops/pt)", spec.name, spec.order, spec.flops).unwrap();
+    writeln!(w, "// setting: {s}").unwrap();
+    writeln!(w, "#include <cuda_runtime.h>").unwrap();
+    writeln!(w).unwrap();
+    writeln!(w, "#define NX {nx}").unwrap();
+    writeln!(w, "#define NY {ny}").unwrap();
+    writeln!(w, "#define NZ {nz}").unwrap();
+    writeln!(w, "#define IDX(x, y, z) ((x) + NX * ((y) + NY * (z)))").unwrap();
+    writeln!(w, "#define PASS_ARGS {}", input_args(def)).unwrap();
+    if ctx_body.staged && streaming {
+        writeln!(w, "#define W(dz) (((wz) + (dz) + {0}) % {0})", 2 * h + 1).unwrap();
+    }
+    writeln!(w).unwrap();
+    if ctx_body.const_mem {
+        writeln!(w, "__constant__ double c_coeff[{}];", spec.coefficients.max(1)).unwrap();
+        writeln!(w).unwrap();
+    }
+
+    // Device recompute helpers for temporaries (cascaded-stage inlining).
+    let mut dev_coeff_idx = 0usize;
+    for st in &def.stages {
+        if let ArrayRef::Temp(i) = st.out {
+            let exprs = term_exprs(&st.terms, ctx_dev, &mut dev_coeff_idx);
+            writeln!(
+                w,
+                "__device__ __forceinline__ double t{i}_at({}, int x, int y, int z) {{",
+                input_params(def)
+            )
+            .unwrap();
+            writeln!(w, "    return {};", exprs.join("\n         + ")).unwrap();
+            writeln!(w, "}}").unwrap();
+            writeln!(w).unwrap();
+        }
+    }
+
+    // Kernel signature.
+    let outs: Vec<String> = (0..def.n_outputs).map(|i| format!("double* __restrict__ out{i}")).collect();
+    writeln!(
+        w,
+        "extern \"C\" __global__ void __launch_bounds__({}) {kernel_name}(\n    {},\n    {}) {{",
+        s.tb_size(),
+        input_params(def),
+        outs.join(", ")
+    )
+    .unwrap();
+
+    // Base coordinates with merging arithmetic.
+    let dims = ["x", "y", "z"];
+    let tdim = ["threadIdx.x", "threadIdx.y", "threadIdx.z"];
+    let bdim = ["blockIdx.x", "blockIdx.y", "blockIdx.z"];
+    let blk = ["blockDim.x", "blockDim.y", "blockDim.z"];
+    for d in 0..3 {
+        let v = dims[d];
+        let cov = launch.coverage[d];
+        if streaming && d == sd {
+            writeln!(w, "    int {v}0 = ({bdim} * {blk2} + {tdim}) * {cov};  // streaming tile base",
+                bdim = bdim[d], blk2 = blk[d], tdim = tdim[d]).unwrap();
+        } else if s.cm()[d] > 1 {
+            // Cyclic merging: stride between a thread's points is the
+            // number of threads along the dimension.
+            writeln!(w, "    int {v}0 = {bdim} * {blk2} + {tdim};  // cyclic base (stride = gridDim.{v} * {blk2})",
+                bdim = bdim[d], blk2 = blk[d], tdim = tdim[d]).unwrap();
+        } else {
+            writeln!(w, "    int {v}0 = ({bdim} * {blk2} + {tdim}) * {cov};  // block-merged base",
+                bdim = bdim[d], blk2 = blk[d], tdim = tdim[d]).unwrap();
+        }
+    }
+    if ctx_body.staged {
+        writeln!(w, "    int lx = threadIdx.x + {h}, ly = threadIdx.y + {h}, lz = threadIdx.z + {h};").unwrap();
+        let n_stage = spec.read_arrays.min(3) as usize;
+        for i in 0..n_stage {
+            let zdim = if streaming {
+                format!("{}", 2 * h + 1)
+            } else {
+                format!("{}", s.tb()[2] as usize * launch.coverage[2] as usize + 2 * h)
+            };
+            writeln!(
+                w,
+                "    __shared__ double s_in{i}[{zdim}][{}][{}];",
+                s.tb()[1] as usize * launch.coverage[1] as usize + 2 * h,
+                s.tb()[0] as usize * launch.coverage[0] as usize + 2 * h
+            )
+            .unwrap();
+        }
+    }
+    if s.use_prefetching() {
+        writeln!(w, "    double pf[{}];  // prefetch double buffer", spec.read_arrays.min(3)).unwrap();
+    }
+
+    // Streaming loop opening.
+    let mut indent = String::from("    ");
+    if streaming {
+        let v = dims[sd];
+        writeln!(w, "    int wz = 0;  // rotating shared-window cursor").unwrap();
+        writeln!(w, "    for (int {v}s = 0; {v}s < {}; ++{v}s) {{", launch.coverage[sd]).unwrap();
+        writeln!(w, "        int {v} = {v}0 + {v}s;").unwrap();
+        if s.use_prefetching() {
+            writeln!(w, "        // prefetch next plane while computing this one").unwrap();
+            writeln!(w, "        if ({v}s + 1 < {}) {{ pf[0] = in0[IDX(x0, y0, {v} + 1)]; }}", launch.coverage[sd]).unwrap();
+        }
+        if ctx_body.staged {
+            writeln!(w, "        s_in0[W(0)][ly][lx] = in0[IDX(x0, y0, {v})];").unwrap();
+            writeln!(w, "        __syncthreads();").unwrap();
+        }
+        indent.push_str("    ");
+    }
+
+    // Per-thread merged loops (non-streaming dimensions).
+    let mut loop_depth = 0;
+    for d in (0..3).rev() {
+        if streaming && d == sd {
+            continue;
+        }
+        let v = dims[d];
+        let cov = launch.coverage[d];
+        if cov > 1 {
+            if uf[d] > 1 {
+                writeln!(w, "{indent}#pragma unroll {}", uf[d].min(cov)).unwrap();
+            }
+            if s.cm()[d] > 1 {
+                writeln!(w, "{indent}for (int {v}m = 0; {v}m < {cov}; ++{v}m) {{").unwrap();
+                writeln!(w, "{indent}    int {v} = {v}0 + {v}m * (gridDim.{v} * {});", blk[d]).unwrap();
+            } else {
+                writeln!(w, "{indent}for (int {v}m = 0; {v}m < {cov}; ++{v}m) {{").unwrap();
+                writeln!(w, "{indent}    int {v} = {v}0 + {v}m;").unwrap();
+            }
+            indent.push_str("    ");
+            loop_depth += 1;
+        } else {
+            writeln!(w, "{indent}int {v} = {v}0;").unwrap();
+            if uf[d] > 1 {
+                writeln!(w, "{indent}// unroll factor {} folded into straight-line code", uf[d]).unwrap();
+            }
+        }
+    }
+
+    // Bounds guard.
+    writeln!(
+        w,
+        "{indent}if (x >= {h} && x < NX - {h} && y >= {h} && y < NY - {h} && z >= {h} && z < NZ - {h}) {{",
+    )
+    .unwrap();
+    indent.push_str("    ");
+
+    // Body: stages in order; zero-offset temps become registers.
+    let retiming = s.use_retiming();
+    let mut coeff_idx = 0usize;
+    for st in &def.stages {
+        let dst = array_ident(st.out);
+        let exprs = term_exprs(&st.terms, ctx_body, &mut coeff_idx);
+        match st.out {
+            ArrayRef::Temp(_) => {
+                if retiming {
+                    writeln!(w, "{indent}double {dst} = 0.0;  // retimed sub-computation").unwrap();
+                    for te in &exprs {
+                        writeln!(w, "{indent}{dst} += {te};").unwrap();
+                    }
+                } else {
+                    writeln!(w, "{indent}double {dst} = {};", exprs.join(" + ")).unwrap();
+                }
+            }
+            ArrayRef::Output(_) => {
+                if retiming {
+                    writeln!(w, "{indent}double acc_{dst} = 0.0;  // retimed accumulation").unwrap();
+                    for te in &exprs {
+                        writeln!(w, "{indent}acc_{dst} += {te};").unwrap();
+                    }
+                    writeln!(w, "{indent}{dst}[IDX(x, y, z)] = acc_{dst};").unwrap();
+                } else {
+                    writeln!(w, "{indent}{dst}[IDX(x, y, z)] = {};", exprs.join(" + ")).unwrap();
+                }
+            }
+            ArrayRef::Input(_) => unreachable!("KernelDef forbids writing inputs"),
+        }
+    }
+
+    // Close bounds guard.
+    indent.truncate(indent.len() - 4);
+    writeln!(w, "{indent}}}").unwrap();
+
+    // Close merged loops.
+    for _ in 0..loop_depth {
+        indent.truncate(indent.len() - 4);
+        writeln!(w, "{indent}}}").unwrap();
+    }
+
+    // Close streaming loop.
+    if streaming {
+        if ctx_body.staged {
+            writeln!(w, "        __syncthreads();  // window shift barrier").unwrap();
+            writeln!(w, "        wz = (wz + 1) % {};", 2 * h + 1).unwrap();
+        }
+        writeln!(w, "    }}").unwrap();
+    }
+    writeln!(w, "}}").unwrap();
+
+    // Host-side launch helper.
+    writeln!(w).unwrap();
+    let args: Vec<String> = (0..def.n_inputs)
+        .map(|i| format!("in{i}"))
+        .chain((0..def.n_outputs).map(|i| format!("out{i}")))
+        .collect();
+    writeln!(w, "// launch: {}", launch.launch_stmt(&kernel_name, &args.join(", "))).unwrap();
+
+    CudaSource { code: c, launch, kernel_name }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cst_space::ParamId;
+    use cst_stencil::suite;
+
+    fn gen(name: &str, s: &Setting) -> CudaSource {
+        generate_cuda(&suite::kernel_by_name(name).unwrap(), s)
+    }
+
+    fn brace_balanced(code: &str) -> bool {
+        let mut depth = 0i32;
+        for ch in code.chars() {
+            match ch {
+                '{' => depth += 1,
+                '}' => depth -= 1,
+                _ => {}
+            }
+            if depth < 0 {
+                return false;
+            }
+        }
+        depth == 0
+    }
+
+    #[test]
+    fn baseline_source_is_wellformed() {
+        for k in suite::all_kernels() {
+            let src = gen(k.spec.name, &Setting::baseline());
+            assert!(brace_balanced(&src.code), "{} braces", k.spec.name);
+            assert!(src.code.contains("__global__ void"));
+            assert!(src.code.contains(&src.kernel_name));
+            for i in 0..k.def.n_inputs {
+                assert!(src.code.contains(&format!("in{i}")), "{} missing in{i}", k.spec.name);
+            }
+            for i in 0..k.def.n_outputs {
+                assert!(src.code.contains(&format!("out{i}[IDX(")), "{} missing out{i} store", k.spec.name);
+            }
+        }
+    }
+
+    #[test]
+    fn cascaded_temps_get_device_helpers() {
+        let src = gen("rhs4center", &Setting::baseline());
+        assert!(src.code.contains("__device__ __forceinline__ double t0_at"));
+        assert!(src.code.contains("t0_at(PASS_ARGS, x + "));
+    }
+
+    #[test]
+    fn flat_kernels_have_no_helpers() {
+        let src = gen("j3d7pt", &Setting::baseline());
+        assert!(!src.code.contains("__device__ __forceinline__"));
+    }
+
+    #[test]
+    fn shared_setting_emits_tile_and_sync() {
+        let s = Setting::baseline()
+            .with(ParamId::UseShared, 2)
+            .with(ParamId::UseStreaming, 2)
+            .with(ParamId::SD, 3)
+            .with(ParamId::TBz, 1)
+            .with(ParamId::SB, 64);
+        let src = gen("j3d7pt", &s);
+        assert!(src.code.contains("__shared__ double s_in0"));
+        assert!(src.code.contains("__syncthreads()"));
+        assert!(src.code.contains("for (int zs = 0; zs < 64;"));
+    }
+
+    #[test]
+    fn plain_setting_has_no_sync() {
+        let src = gen("j3d7pt", &Setting::baseline());
+        assert!(!src.code.contains("__syncthreads()"));
+        assert!(!src.code.contains("__shared__"));
+    }
+
+    #[test]
+    fn unroll_pragma_matches_setting() {
+        let s = Setting::baseline().with(ParamId::BMy, 8).with(ParamId::UFy, 4);
+        let src = gen("helmholtz", &s);
+        assert!(src.code.contains("#pragma unroll 4"), "{}", src.code);
+    }
+
+    #[test]
+    fn constant_memory_declares_table() {
+        let on = gen("j3d27pt", &Setting::baseline().with(ParamId::UseConstant, 2));
+        assert!(on.code.contains("__constant__ double c_coeff"));
+        assert!(on.code.contains("c_coeff["));
+        let off = gen("j3d27pt", &Setting::baseline());
+        assert!(!off.code.contains("__constant__"));
+    }
+
+    #[test]
+    fn retiming_splits_accumulations() {
+        let on = gen("rhs4center", &Setting::baseline().with(ParamId::UseRetiming, 2));
+        assert!(on.code.contains("retimed"));
+        assert!(on.code.matches("+=").count() > 10);
+    }
+
+    #[test]
+    fn prefetch_emits_double_buffer() {
+        let s = Setting::baseline()
+            .with(ParamId::UseStreaming, 2)
+            .with(ParamId::SD, 3)
+            .with(ParamId::TBz, 1)
+            .with(ParamId::SB, 32)
+            .with(ParamId::UsePrefetching, 2);
+        let src = gen("cheby", &s);
+        assert!(src.code.contains("prefetch"));
+        assert!(src.code.contains("pf["));
+    }
+
+    #[test]
+    fn cyclic_merging_uses_grid_stride() {
+        let s = Setting::baseline().with(ParamId::CMy, 4);
+        let src = gen("j3d7pt", &s);
+        assert!(src.code.contains("ym * (gridDim.y * blockDim.y)"), "{}", src.code);
+    }
+
+    #[test]
+    fn code_size_scales_with_kernel_complexity() {
+        let small = gen("j3d7pt", &Setting::baseline()).code.len();
+        let big = gen("rhs4center", &Setting::baseline()).code.len();
+        assert!(big > 3 * small, "{big} vs {small}");
+    }
+
+    #[test]
+    fn deterministic_output() {
+        let s = Setting::baseline().with(ParamId::UFx, 2);
+        assert_eq!(gen("addsgd4", &s).code, gen("addsgd4", &s).code);
+    }
+}

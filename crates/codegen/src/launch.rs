@@ -1,0 +1,131 @@
+//! Kernel launch configuration derived from a tuning setting.
+
+use cst_space::Setting;
+use cst_stencil::StencilSpec;
+
+/// The `<<<grid, block>>>` configuration plus the per-thread coverage that
+/// the generated kernel's index arithmetic assumes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaunchConfig {
+    /// Thread block extents.
+    pub block: [u32; 3],
+    /// Grid extents in blocks.
+    pub grid: [u32; 3],
+    /// Output points covered by each thread along each dimension.
+    pub coverage: [u32; 3],
+    /// Dynamic shared memory bytes requested at launch.
+    pub shmem_bytes: u64,
+}
+
+impl LaunchConfig {
+    /// Compute the launch configuration for a setting, mirroring the
+    /// decomposition of the performance model: merged points per thread
+    /// along non-streaming dimensions, serial SB tiles along the streaming
+    /// dimension.
+    pub fn for_setting(spec: &StencilSpec, s: &Setting) -> Self {
+        let ext = [spec.grid[0] as u32, spec.grid[1] as u32, spec.grid[2] as u32];
+        let streaming = s.use_streaming();
+        let sd = s.sd_axis();
+        let mut coverage = [1u32; 3];
+        for d in 0..3 {
+            coverage[d] = if streaming && d == sd {
+                s.sb().max(1)
+            } else {
+                (s.bm()[d] * s.cm()[d]).max(1)
+            };
+        }
+        let block = s.tb();
+        let mut grid = [1u32; 3];
+        for d in 0..3 {
+            let threads = ext[d].div_ceil(coverage[d]);
+            grid[d] = threads.div_ceil(block[d]);
+        }
+        let shmem_bytes = if s.use_shared() {
+            let h = 2 * spec.order;
+            let n_stage = spec.read_arrays.min(3) as u64;
+            let mut bytes = 8 * n_stage;
+            for d in 0..3 {
+                let t = if streaming && d == sd {
+                    2 * spec.order + 1
+                } else {
+                    block[d] * coverage[d] + h
+                };
+                bytes = bytes.saturating_mul(t as u64);
+            }
+            bytes
+        } else {
+            0
+        };
+        LaunchConfig { block, grid, coverage, shmem_bytes }
+    }
+
+    /// Total threads launched.
+    pub fn total_threads(&self) -> u64 {
+        (0..3)
+            .map(|d| self.block[d] as u64 * self.grid[d] as u64)
+            .product()
+    }
+
+    /// Render as a CUDA launch statement.
+    pub fn launch_stmt(&self, kernel: &str, args: &str) -> String {
+        format!(
+            "{kernel}<<<dim3({}, {}, {}), dim3({}, {}, {}), {}>>>({args});",
+            self.grid[0], self.grid[1], self.grid[2], self.block[0], self.block[1], self.block[2], self.shmem_bytes
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cst_space::ParamId;
+    use cst_stencil::suite;
+
+    #[test]
+    fn baseline_covers_grid_exactly() {
+        let spec = suite::spec_by_name("j3d7pt").unwrap();
+        let lc = LaunchConfig::for_setting(&spec, &Setting::baseline());
+        assert_eq!(lc.block, [32, 4, 1]);
+        assert_eq!(lc.grid, [16, 128, 512]);
+        assert_eq!(lc.total_threads(), 512 * 512 * 512);
+        assert_eq!(lc.shmem_bytes, 0);
+    }
+
+    #[test]
+    fn merging_shrinks_the_grid() {
+        let spec = suite::spec_by_name("j3d7pt").unwrap();
+        let s = Setting::baseline().with(ParamId::BMy, 4);
+        let lc = LaunchConfig::for_setting(&spec, &s);
+        assert_eq!(lc.coverage[1], 4);
+        assert_eq!(lc.grid[1], 32);
+    }
+
+    #[test]
+    fn streaming_serializes_sd() {
+        let spec = suite::spec_by_name("j3d7pt").unwrap();
+        let s = Setting::baseline()
+            .with(ParamId::UseStreaming, 2)
+            .with(ParamId::SD, 3)
+            .with(ParamId::TBz, 1)
+            .with(ParamId::SB, 64);
+        let lc = LaunchConfig::for_setting(&spec, &s);
+        assert_eq!(lc.coverage[2], 64);
+        assert_eq!(lc.grid[2], 8);
+    }
+
+    #[test]
+    fn shared_requests_dynamic_memory() {
+        let spec = suite::spec_by_name("cheby").unwrap();
+        let s = Setting::baseline().with(ParamId::UseShared, 2);
+        let lc = LaunchConfig::for_setting(&spec, &s);
+        assert!(lc.shmem_bytes > 0);
+    }
+
+    #[test]
+    fn launch_stmt_renders() {
+        let spec = suite::spec_by_name("j3d7pt").unwrap();
+        let lc = LaunchConfig::for_setting(&spec, &Setting::baseline());
+        let s = lc.launch_stmt("j3d7pt_kernel", "in0, out0");
+        assert!(s.starts_with("j3d7pt_kernel<<<dim3(16, 128, 512), dim3(32, 4, 1), 0>>>"));
+    }
+}

@@ -1,0 +1,22 @@
+//! CUDA C source generation for (stencil, setting) pairs.
+//!
+//! csTuner "writes the sampled parameter settings into CUDA kernels for the
+//! subsequent auto-tuning process" (§V-F); code generation is one of the
+//! three pre-processing stages whose overhead Fig. 12 breaks down. This
+//! crate emits a complete, human-readable CUDA kernel for any kernel
+//! definition and tuning setting: thread-block decomposition, shared-memory
+//! staging with halo loads, the streaming loop with synchronization and
+//! optional prefetch double-buffering, `#pragma unroll` factors,
+//! block/cyclic merging index arithmetic, constant-memory coefficient
+//! tables, and the stencil arithmetic itself straight from the dataflow
+//! definition.
+//!
+//! The sources are not compiled here (no device toolchain in this
+//! reproduction — see DESIGN.md); they are structurally validated by tests
+//! and their generation cost is what the Fig. 12 experiment measures.
+
+pub mod kernel;
+pub mod launch;
+
+pub use kernel::{generate_cuda, CudaSource};
+pub use launch::LaunchConfig;

@@ -1,0 +1,213 @@
+//! The evaluation boundary between tuners and "hardware".
+//!
+//! Every tuner (csTuner and the baselines) sees the system under test only
+//! through [`Evaluator`]: validity checks, timed evaluations that charge a
+//! virtual wall clock, and offline profiling for dataset collection. The
+//! production implementation is [`SimEvaluator`] over the GPU model; tests
+//! substitute synthetic landscapes.
+
+use cst_gpu_sim::{GpuArch, GpuSim, MetricsReport, ValidSpace, VirtualClock};
+use cst_space::{OptSpace, Setting};
+use cst_stencil::StencilSpec;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+/// Access to the stencil, the space, validity, and (costed) measurement.
+pub trait Evaluator {
+    /// The stencil under tuning.
+    fn spec(&self) -> &StencilSpec;
+
+    /// The explicit parameter space.
+    fn space(&self) -> &OptSpace;
+
+    /// Full validity (explicit constraints + resources).
+    fn is_valid(&self, s: &Setting) -> bool;
+
+    /// Measure a setting's kernel time in milliseconds. The first
+    /// evaluation of a setting charges compile + run cost to the virtual
+    /// clock and is counted; repeats return the memoized measurement for
+    /// free (tuners cache results rather than recompiling).
+    fn evaluate(&mut self, s: &Setting) -> f64;
+
+    /// Profile a setting offline for the performance dataset: runtime plus
+    /// GPU metrics. Not charged to the tuning clock — the paper collects
+    /// the dataset once, offline, and excludes it from the online
+    /// auto-tuning overhead (§V-F).
+    fn profile_offline(&mut self, s: &Setting) -> MetricsReport;
+
+    /// The virtual tuning clock.
+    fn clock(&self) -> &VirtualClock;
+
+    /// Whether the time budget (if any) is exhausted.
+    fn expired(&self) -> bool {
+        self.clock().expired()
+    }
+
+    /// Unique settings evaluated (memoization misses).
+    fn unique_evaluations(&self) -> u64;
+
+    /// Draw one fully valid setting.
+    fn random_valid(&mut self) -> Setting;
+}
+
+/// Simulator-backed evaluator: the stand-in for compiling and running on
+/// the paper's GPU testbeds.
+#[derive(Debug, Clone)]
+pub struct SimEvaluator {
+    valid: ValidSpace,
+    clock: VirtualClock,
+    rng: StdRng,
+    memo: HashMap<Setting, f64>,
+    unique: u64,
+}
+
+impl SimEvaluator {
+    /// Build with an unbounded clock.
+    pub fn new(spec: StencilSpec, arch: GpuArch, seed: u64) -> Self {
+        let space = OptSpace::for_stencil(&spec);
+        let sim = GpuSim::new(spec, arch);
+        SimEvaluator {
+            valid: ValidSpace::new(space, sim),
+            clock: VirtualClock::unbounded(),
+            rng: StdRng::seed_from_u64(seed ^ 0x5eed_e7a1),
+            memo: HashMap::new(),
+            unique: 0,
+        }
+    }
+
+    /// Build with an iso-time budget in seconds.
+    pub fn with_budget(spec: StencilSpec, arch: GpuArch, seed: u64, budget_s: f64) -> Self {
+        let mut e = Self::new(spec, arch, seed);
+        e.clock = VirtualClock::with_budget(budget_s);
+        e
+    }
+
+    /// The underlying simulator.
+    pub fn sim(&self) -> &GpuSim {
+        self.valid.sim()
+    }
+
+    /// The composed valid space.
+    pub fn valid_space(&self) -> &ValidSpace {
+        &self.valid
+    }
+
+    /// Reset the clock and evaluation memo (fresh tuning run on the same
+    /// stencil/arch).
+    pub fn reset(&mut self, seed: u64, budget_s: Option<f64>) {
+        self.clock = match budget_s {
+            Some(b) => VirtualClock::with_budget(b),
+            None => VirtualClock::unbounded(),
+        };
+        self.rng = StdRng::seed_from_u64(seed ^ 0x5eed_e7a1);
+        self.memo.clear();
+        self.unique = 0;
+    }
+}
+
+impl Evaluator for SimEvaluator {
+    fn spec(&self) -> &StencilSpec {
+        self.valid.sim().spec()
+    }
+
+    fn space(&self) -> &OptSpace {
+        self.valid.space()
+    }
+
+    fn is_valid(&self, s: &Setting) -> bool {
+        self.valid.is_valid(s)
+    }
+
+    fn evaluate(&mut self, s: &Setting) -> f64 {
+        if let Some(&t) = self.memo.get(s) {
+            return t;
+        }
+        let sim = self.valid.sim();
+        let measured = sim.measure(s, &mut self.rng);
+        let cost = sim.eval_cost_s(s);
+        self.clock.advance(cost);
+        self.unique += 1;
+        self.memo.insert(*s, measured);
+        measured
+    }
+
+    fn profile_offline(&mut self, s: &Setting) -> MetricsReport {
+        self.valid.sim().profile(s)
+    }
+
+    fn clock(&self) -> &VirtualClock {
+        &self.clock
+    }
+
+    fn unique_evaluations(&self) -> u64 {
+        self.unique
+    }
+
+    fn random_valid(&mut self) -> Setting {
+        self.valid.random_valid(&mut self.rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cst_stencil::suite;
+
+    fn eval() -> SimEvaluator {
+        SimEvaluator::new(suite::spec_by_name("j3d7pt").unwrap(), GpuArch::a100(), 1)
+    }
+
+    #[test]
+    fn evaluation_charges_clock_once() {
+        let mut e = eval();
+        let s = Setting::baseline();
+        let t1 = e.evaluate(&s);
+        let after_first = e.clock().now_s();
+        assert!(after_first > 0.0);
+        let t2 = e.evaluate(&s);
+        assert_eq!(t1, t2, "memoized measurement must be stable");
+        assert_eq!(e.clock().now_s(), after_first, "repeat must be free");
+        assert_eq!(e.unique_evaluations(), 1);
+    }
+
+    #[test]
+    fn budget_expires() {
+        let mut e = SimEvaluator::with_budget(suite::spec_by_name("j3d7pt").unwrap(), GpuArch::a100(), 2, 3.0);
+        let mut n = 0;
+        while !e.expired() && n < 100 {
+            let s = e.random_valid();
+            e.evaluate(&s);
+            n += 1;
+        }
+        assert!(e.expired(), "never expired after {n} evals");
+        assert!(n < 100);
+    }
+
+    #[test]
+    fn profiling_is_free() {
+        let mut e = eval();
+        e.profile_offline(&Setting::baseline());
+        assert_eq!(e.clock().now_s(), 0.0);
+        assert_eq!(e.unique_evaluations(), 0);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut e = eval();
+        e.evaluate(&Setting::baseline());
+        e.reset(9, Some(5.0));
+        assert_eq!(e.clock().now_s(), 0.0);
+        assert_eq!(e.unique_evaluations(), 0);
+        assert_eq!(e.clock().remaining_s(), 5.0);
+    }
+
+    #[test]
+    fn measurements_use_noise_but_stay_close_to_model() {
+        let mut e = eval();
+        let s = Setting::baseline();
+        let measured = e.evaluate(&s);
+        let model = e.sim().kernel_time_ms(&s);
+        assert!((measured / model - 1.0).abs() < 0.1, "{measured} vs {model}");
+    }
+}

@@ -1,0 +1,145 @@
+//! Metric combination: Algorithm 2 over Pearson-correlated GPU metrics.
+//!
+//! Profiling yields many metrics per setting; building a PMNF model for
+//! each would be wasteful and collinear. §IV-D combines metrics whose
+//! pairwise Pearson correlation is high into collections (Algorithm 2) and
+//! then keeps one representative per collection — the metric most
+//! correlated with execution time — for performance modeling.
+
+use crate::dataset::PerfDataset;
+use cst_gpu_sim::N_METRICS;
+use cst_stats::pearson;
+use std::collections::VecDeque;
+
+/// A scored metric pair (absolute PCC).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct MetricPair {
+    a: usize,
+    b: usize,
+    pcc: f64,
+}
+
+/// Algorithm 2: combine metrics into at most `num_collections` collections
+/// by descending pairwise |PCC|. Metrics constant across the dataset are
+/// excluded up front (their correlation is undefined and they carry no
+/// signal). Returns the collections as metric-index lists.
+pub fn combine_metrics(dataset: &PerfDataset, num_collections: usize) -> Vec<Vec<usize>> {
+    assert!(num_collections >= 1, "need at least one collection");
+    let columns: Vec<Vec<f64>> = (0..N_METRICS).map(|m| dataset.metric_column(m)).collect();
+    let informative: Vec<usize> = (0..N_METRICS)
+        .filter(|&m| {
+            let c = &columns[m];
+            c.iter().any(|&v| v != c[0])
+        })
+        .collect();
+    let mut pairs = Vec::new();
+    for (i, &a) in informative.iter().enumerate() {
+        for &b in informative.iter().skip(i + 1) {
+            pairs.push(MetricPair { a, b, pcc: pearson(&columns[a], &columns[b]).abs() });
+        }
+    }
+    // Ascending push → rightmost pop yields the strongest-correlated pair.
+    pairs.sort_by(|x, y| x.pcc.partial_cmp(&y.pcc).unwrap_or(std::cmp::Ordering::Equal));
+    let mut deque: VecDeque<MetricPair> = pairs.into();
+    let mut collections: Vec<Vec<usize>> = Vec::new();
+    let find = |cols: &Vec<Vec<usize>>, m: usize| cols.iter().position(|c| c.contains(&m));
+    let que_size = deque.len();
+    for _ in 0..que_size {
+        let Some(p) = deque.pop_back() else { break };
+        match (find(&collections, p.a), find(&collections, p.b)) {
+            (None, None) => {
+                if collections.len() < num_collections {
+                    collections.push(vec![p.a, p.b]);
+                }
+                // Otherwise leave the pair for a later merge via one of its
+                // members joining an existing collection.
+            }
+            (Some(_), Some(_)) => continue,
+            (Some(ca), None) => collections[ca].push(p.b),
+            (None, Some(cb)) => collections[cb].push(p.a),
+        }
+    }
+    collections
+}
+
+/// Select one representative metric per collection: the member with the
+/// highest |PCC| against execution time. Returns `(metric index,
+/// signed PCC vs. time)` pairs — the sign tells the sampler which
+/// direction of the metric predicts slowness.
+pub fn select_representatives(dataset: &PerfDataset, collections: &[Vec<usize>]) -> Vec<(usize, f64)> {
+    let times = dataset.times();
+    collections
+        .iter()
+        .filter_map(|coll| {
+            coll.iter()
+                .map(|&m| {
+                    let col = dataset.metric_column(m);
+                    (m, pearson(&col, &times))
+                })
+                .max_by(|(_, x), (_, y)| x.abs().partial_cmp(&y.abs()).unwrap())
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::PerfDataset;
+    use crate::evaluator::SimEvaluator;
+    use cst_gpu_sim::{GpuArch, METRIC_NAMES};
+    use cst_stencil::suite;
+
+    fn dataset(name: &str) -> PerfDataset {
+        let mut e = SimEvaluator::new(suite::spec_by_name(name).unwrap(), GpuArch::a100(), 5);
+        PerfDataset::collect(&mut e, 96, 13)
+    }
+
+    #[test]
+    fn collections_bounded_and_disjoint() {
+        let ds = dataset("cheby");
+        let colls = combine_metrics(&ds, 4);
+        assert!(colls.len() <= 4);
+        assert!(!colls.is_empty());
+        let mut seen = std::collections::HashSet::new();
+        for c in &colls {
+            assert!(c.len() >= 2, "collections start from pairs");
+            for &m in c {
+                assert!(seen.insert(m), "metric {m} in two collections");
+            }
+        }
+    }
+
+    #[test]
+    fn correlated_metrics_land_together() {
+        // gld and gst efficiency are identical in the model; they must be
+        // in the same collection whenever both are informative.
+        let ds = dataset("hypterm");
+        let gld = METRIC_NAMES.iter().position(|&n| n == "smsp__gld_efficiency.pct").unwrap();
+        let gst = METRIC_NAMES.iter().position(|&n| n == "smsp__gst_efficiency.pct").unwrap();
+        let colls = combine_metrics(&ds, 5);
+        let find = |m: usize| colls.iter().position(|c| c.contains(&m));
+        if let (Some(a), Some(b)) = (find(gld), find(gst)) {
+            assert_eq!(a, b, "{colls:?}");
+        }
+    }
+
+    #[test]
+    fn representatives_correlate_with_time() {
+        let ds = dataset("rhs4center");
+        let colls = combine_metrics(&ds, 4);
+        let reps = select_representatives(&ds, &colls);
+        assert_eq!(reps.len(), colls.len());
+        for (m, pcc) in &reps {
+            assert!(*m < cst_gpu_sim::N_METRICS);
+            assert!(pcc.abs() <= 1.0);
+        }
+        // At least one representative should carry a real signal.
+        assert!(reps.iter().any(|(_, p)| p.abs() > 0.2), "{reps:?}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let ds = dataset("j3d27pt");
+        assert_eq!(combine_metrics(&ds, 4), combine_metrics(&ds, 4));
+    }
+}

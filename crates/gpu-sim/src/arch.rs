@@ -1,0 +1,153 @@
+//! GPU architecture descriptions (the Table II hardware, as model presets).
+
+/// Static resources and throughput figures of one GPU model.
+///
+/// The presets mirror the two platforms of the paper's evaluation
+/// (NVIDIA Tesla A100 for §V-B/C, Tesla V100 for §V-D) using the public
+/// architecture whitepaper figures. The performance model in
+/// [`crate::GpuSim`] turns these plus a stencil/setting pair into a
+/// predicted kernel time and Nsight-style metrics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpuArch {
+    /// Marketing name, e.g. `"A100"`.
+    pub name: &'static str,
+    /// Number of streaming multiprocessors.
+    pub sm_count: u32,
+    /// Maximum resident threads per SM.
+    pub max_threads_per_sm: u32,
+    /// Maximum resident thread blocks per SM.
+    pub max_tb_per_sm: u32,
+    /// Maximum resident warps per SM.
+    pub max_warps_per_sm: u32,
+    /// 32-bit registers per SM.
+    pub regs_per_sm: u32,
+    /// Hard per-thread register limit before spilling to local memory.
+    pub max_regs_per_thread: u32,
+    /// Shared memory per SM in bytes.
+    pub shmem_per_sm: u32,
+    /// Maximum shared memory per thread block in bytes.
+    pub shmem_per_tb: u32,
+    /// L2 cache size in bytes.
+    pub l2_bytes: u64,
+    /// DRAM bandwidth in GB/s.
+    pub dram_gbps: f64,
+    /// Peak FP64 throughput in GFLOP/s.
+    pub fp64_gflops: f64,
+    /// Constant-memory cache per SM in bytes.
+    pub const_cache: u32,
+    /// Kernel launch latency in microseconds.
+    pub launch_us: f64,
+    /// Cost of one block-wide `__syncthreads()` in microseconds,
+    /// per resident thread block wave.
+    pub sync_us: f64,
+    /// Warp width.
+    pub warp_size: u32,
+    /// Baseline time to compile one generated kernel variant in seconds
+    /// (nvcc dominates the per-setting evaluation cost; see §V-A's
+    /// iso-time methodology).
+    pub compile_base_s: f64,
+}
+
+impl GpuArch {
+    /// NVIDIA Tesla A100 (Ampere GA100), the paper's primary platform.
+    pub fn a100() -> Self {
+        GpuArch {
+            name: "A100",
+            sm_count: 108,
+            max_threads_per_sm: 2048,
+            max_tb_per_sm: 32,
+            max_warps_per_sm: 64,
+            regs_per_sm: 65_536,
+            max_regs_per_thread: 255,
+            shmem_per_sm: 164 * 1024,
+            shmem_per_tb: 160 * 1024,
+            l2_bytes: 40 * 1024 * 1024,
+            dram_gbps: 1555.0,
+            fp64_gflops: 9700.0,
+            const_cache: 64 * 1024,
+            launch_us: 4.0,
+            sync_us: 0.12,
+            warp_size: 32,
+            compile_base_s: 0.5,
+        }
+    }
+
+    /// NVIDIA Tesla V100 (Volta GV100), the paper's portability platform.
+    pub fn v100() -> Self {
+        GpuArch {
+            name: "V100",
+            sm_count: 80,
+            max_threads_per_sm: 2048,
+            max_tb_per_sm: 32,
+            max_warps_per_sm: 64,
+            regs_per_sm: 65_536,
+            max_regs_per_thread: 255,
+            shmem_per_sm: 96 * 1024,
+            shmem_per_tb: 96 * 1024,
+            l2_bytes: 6 * 1024 * 1024,
+            dram_gbps: 900.0,
+            fp64_gflops: 7800.0,
+            const_cache: 64 * 1024,
+            launch_us: 4.5,
+            sync_us: 0.15,
+            warp_size: 32,
+            compile_base_s: 0.45,
+        }
+    }
+
+    /// A deliberately small fictional part, useful for tests that need
+    /// resource limits to bind at modest settings.
+    pub fn small() -> Self {
+        GpuArch {
+            name: "small",
+            sm_count: 16,
+            max_threads_per_sm: 1024,
+            max_tb_per_sm: 16,
+            max_warps_per_sm: 32,
+            regs_per_sm: 32_768,
+            max_regs_per_thread: 128,
+            shmem_per_sm: 48 * 1024,
+            shmem_per_tb: 48 * 1024,
+            l2_bytes: 2 * 1024 * 1024,
+            dram_gbps: 300.0,
+            fp64_gflops: 1000.0,
+            const_cache: 64 * 1024,
+            launch_us: 5.0,
+            sync_us: 0.2,
+            warp_size: 32,
+            compile_base_s: 0.30,
+        }
+    }
+
+    /// Look up a preset by (case-insensitive) name.
+    pub fn by_name(name: &str) -> Option<GpuArch> {
+        match name.to_ascii_lowercase().as_str() {
+            "a100" => Some(Self::a100()),
+            "v100" => Some(Self::v100()),
+            "small" => Some(Self::small()),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_have_expected_scale() {
+        let a = GpuArch::a100();
+        let v = GpuArch::v100();
+        assert!(a.dram_gbps > v.dram_gbps);
+        assert!(a.fp64_gflops > v.fp64_gflops);
+        assert!(a.l2_bytes > v.l2_bytes);
+        assert_eq!(a.warp_size, 32);
+    }
+
+    #[test]
+    fn by_name_is_case_insensitive() {
+        assert_eq!(GpuArch::by_name("A100").unwrap().name, "A100");
+        assert_eq!(GpuArch::by_name("v100").unwrap().name, "V100");
+        assert!(GpuArch::by_name("h100").is_none());
+    }
+}

@@ -1,0 +1,87 @@
+//! Virtual wall clock for iso-time experiments.
+//!
+//! The paper's iso-time comparison (§V-C) runs every tuner until a fixed
+//! wall-clock budget (100 s) elapses, where the clock advances by the cost
+//! of compiling and running each evaluated setting. Because our kernels
+//! execute inside a model rather than on a device, the clock is explicit:
+//! tuners charge every evaluation to a [`VirtualClock`] and stop when the
+//! budget is spent. This keeps the comparison faithful *and* makes the
+//! experiments reproducible to the microsecond.
+
+/// An explicit, monotone virtual clock measured in seconds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VirtualClock {
+    now_s: f64,
+    budget_s: Option<f64>,
+}
+
+impl VirtualClock {
+    /// A clock starting at zero with no budget.
+    pub fn unbounded() -> Self {
+        VirtualClock { now_s: 0.0, budget_s: None }
+    }
+
+    /// A clock starting at zero that expires after `budget_s` seconds.
+    pub fn with_budget(budget_s: f64) -> Self {
+        assert!(budget_s > 0.0, "budget must be positive");
+        VirtualClock { now_s: 0.0, budget_s: Some(budget_s) }
+    }
+
+    /// Current virtual time in seconds.
+    pub fn now_s(&self) -> f64 {
+        self.now_s
+    }
+
+    /// Advance by `dt` seconds.
+    ///
+    /// # Panics
+    /// Panics on negative or non-finite `dt`.
+    pub fn advance(&mut self, dt: f64) {
+        assert!(dt.is_finite() && dt >= 0.0, "bad time delta {dt}");
+        self.now_s += dt;
+    }
+
+    /// Whether the budget (if any) has been exhausted.
+    pub fn expired(&self) -> bool {
+        matches!(self.budget_s, Some(b) if self.now_s >= b)
+    }
+
+    /// Remaining budget, or `f64::INFINITY` when unbounded.
+    pub fn remaining_s(&self) -> f64 {
+        match self.budget_s {
+            Some(b) => (b - self.now_s).max(0.0),
+            None => f64::INFINITY,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advances_and_expires() {
+        let mut c = VirtualClock::with_budget(10.0);
+        assert!(!c.expired());
+        c.advance(4.0);
+        assert_eq!(c.now_s(), 4.0);
+        assert_eq!(c.remaining_s(), 6.0);
+        c.advance(6.0);
+        assert!(c.expired());
+        assert_eq!(c.remaining_s(), 0.0);
+    }
+
+    #[test]
+    fn unbounded_never_expires() {
+        let mut c = VirtualClock::unbounded();
+        c.advance(1e9);
+        assert!(!c.expired());
+        assert_eq!(c.remaining_s(), f64::INFINITY);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad time delta")]
+    fn negative_advance_panics() {
+        VirtualClock::unbounded().advance(-1.0);
+    }
+}

@@ -1,0 +1,269 @@
+//! CART classification trees with Gini impurity.
+
+use rand::Rng;
+
+/// Hyperparameters of one tree.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TreeConfig {
+    /// Maximum depth (root = depth 0).
+    pub max_depth: u32,
+    /// Minimum samples required to attempt a split.
+    pub min_samples_split: usize,
+    /// Number of candidate features per split; `None` tries all (plain
+    /// CART), `Some(k)` samples `k` without replacement (random-forest
+    /// style).
+    pub feature_subset: Option<usize>,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        TreeConfig { max_depth: 12, min_samples_split: 2, feature_subset: None }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Node {
+    Leaf { class: usize },
+    Split { feature: usize, threshold: f64, left: Box<Node>, right: Box<Node> },
+}
+
+/// A fitted classification tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecisionTree {
+    root: Node,
+    n_features: usize,
+    n_classes: usize,
+}
+
+fn gini(counts: &[usize], total: usize) -> f64 {
+    if total == 0 {
+        return 0.0;
+    }
+    let mut g = 1.0;
+    for &c in counts {
+        let p = c as f64 / total as f64;
+        g -= p * p;
+    }
+    g
+}
+
+fn majority(ys: &[usize], idx: &[usize], n_classes: usize) -> usize {
+    let mut counts = vec![0usize; n_classes];
+    for &i in idx {
+        counts[ys[i]] += 1;
+    }
+    counts
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, &c)| c)
+        .map(|(k, _)| k)
+        .unwrap_or(0)
+}
+
+fn build(
+    xs: &[Vec<f64>],
+    ys: &[usize],
+    idx: &[usize],
+    n_classes: usize,
+    cfg: &TreeConfig,
+    depth: u32,
+    rng: &mut impl Rng,
+) -> Node {
+    let class = majority(ys, idx, n_classes);
+    if depth >= cfg.max_depth || idx.len() < cfg.min_samples_split {
+        return Node::Leaf { class };
+    }
+    let mut counts = vec![0usize; n_classes];
+    for &i in idx {
+        counts[ys[i]] += 1;
+    }
+    if counts.iter().filter(|&&c| c > 0).count() <= 1 {
+        return Node::Leaf { class };
+    }
+    let n_features = xs[0].len();
+    // Candidate features: all, or a random subset without replacement.
+    let features: Vec<usize> = match cfg.feature_subset {
+        None => (0..n_features).collect(),
+        Some(k) => {
+            let mut pool: Vec<usize> = (0..n_features).collect();
+            for i in 0..k.min(n_features) {
+                let j = rng.gen_range(i..pool.len());
+                pool.swap(i, j);
+            }
+            pool.truncate(k.min(n_features));
+            pool
+        }
+    };
+    let parent_gini = gini(&counts, idx.len());
+    let mut best: Option<(usize, f64, f64)> = None; // feature, threshold, gain
+    for &f in &features {
+        // Candidate thresholds: midpoints of consecutive distinct values.
+        let mut vals: Vec<f64> = idx.iter().map(|&i| xs[i][f]).collect();
+        vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        vals.dedup();
+        for w in vals.windows(2) {
+            let thr = (w[0] + w[1]) / 2.0;
+            let mut lc = vec![0usize; n_classes];
+            let mut rc = vec![0usize; n_classes];
+            let mut ln = 0;
+            let mut rn = 0;
+            for &i in idx {
+                if xs[i][f] <= thr {
+                    lc[ys[i]] += 1;
+                    ln += 1;
+                } else {
+                    rc[ys[i]] += 1;
+                    rn += 1;
+                }
+            }
+            if ln == 0 || rn == 0 {
+                continue;
+            }
+            let weighted = (ln as f64 * gini(&lc, ln) + rn as f64 * gini(&rc, rn)) / idx.len() as f64;
+            let gain = parent_gini - weighted;
+            if best.map_or(true, |(_, _, g)| gain > g) {
+                best = Some((f, thr, gain));
+            }
+        }
+    }
+    let Some((feature, threshold, _gain)) = best else {
+        return Node::Leaf { class };
+    };
+    // Zero-gain splits are allowed on impure nodes (XOR-style targets have
+    // no first split with positive Gini gain); both sides are non-empty so
+    // recursion always terminates.
+    let (li, ri): (Vec<usize>, Vec<usize>) = idx.iter().partition(|&&i| xs[i][feature] <= threshold);
+    Node::Split {
+        feature,
+        threshold,
+        left: Box::new(build(xs, ys, &li, n_classes, cfg, depth + 1, rng)),
+        right: Box::new(build(xs, ys, &ri, n_classes, cfg, depth + 1, rng)),
+    }
+}
+
+impl DecisionTree {
+    /// Fit a tree on `(xs, ys)` with class labels in `0..n_classes`.
+    ///
+    /// # Panics
+    /// Panics on empty/ragged data or out-of-range labels.
+    pub fn fit(xs: &[Vec<f64>], ys: &[usize], n_classes: usize, cfg: &TreeConfig, rng: &mut impl Rng) -> Self {
+        assert!(!xs.is_empty() && xs.len() == ys.len(), "need paired samples");
+        let n_features = xs[0].len();
+        assert!(xs.iter().all(|x| x.len() == n_features), "ragged features");
+        assert!(ys.iter().all(|&y| y < n_classes), "label out of range");
+        let idx: Vec<usize> = (0..xs.len()).collect();
+        DecisionTree { root: build(xs, ys, &idx, n_classes, cfg, 0, rng), n_features, n_classes }
+    }
+
+    /// Fit on a subset of row indices (used by bagging).
+    pub(crate) fn fit_indices(
+        xs: &[Vec<f64>],
+        ys: &[usize],
+        idx: &[usize],
+        n_classes: usize,
+        cfg: &TreeConfig,
+        rng: &mut impl Rng,
+    ) -> Self {
+        DecisionTree {
+            root: build(xs, ys, idx, n_classes, cfg, 0, rng),
+            n_features: xs[0].len(),
+            n_classes,
+        }
+    }
+
+    /// Predict the class of one feature vector.
+    ///
+    /// # Panics
+    /// Panics if the vector length mismatches the training features.
+    pub fn predict(&self, x: &[f64]) -> usize {
+        assert_eq!(x.len(), self.n_features, "feature length mismatch");
+        let mut node = &self.root;
+        loop {
+            match node {
+                Node::Leaf { class } => return *class,
+                Node::Split { feature, threshold, left, right } => {
+                    node = if x[*feature] <= *threshold { left } else { right };
+                }
+            }
+        }
+    }
+
+    /// Number of classes this tree was trained with.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Depth of the fitted tree (leaf-only tree has depth 0).
+    pub fn depth(&self) -> u32 {
+        fn d(n: &Node) -> u32 {
+            match n {
+                Node::Leaf { .. } => 0,
+                Node::Split { left, right, .. } => 1 + d(left).max(d(right)),
+            }
+        }
+        d(&self.root)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(9)
+    }
+
+    #[test]
+    fn separable_data_is_memorized() {
+        let xs = vec![vec![0.0], vec![1.0], vec![2.0], vec![10.0], vec![11.0]];
+        let ys = vec![0, 0, 0, 1, 1];
+        let t = DecisionTree::fit(&xs, &ys, 2, &TreeConfig::default(), &mut rng());
+        for (x, &y) in xs.iter().zip(&ys) {
+            assert_eq!(t.predict(x), y);
+        }
+        assert_eq!(t.predict(&[100.0]), 1);
+    }
+
+    #[test]
+    fn xor_needs_depth_two() {
+        let xs = vec![vec![0.0, 0.0], vec![0.0, 1.0], vec![1.0, 0.0], vec![1.0, 1.0]];
+        let ys = vec![0, 1, 1, 0];
+        let t = DecisionTree::fit(&xs, &ys, 2, &TreeConfig::default(), &mut rng());
+        for (x, &y) in xs.iter().zip(&ys) {
+            assert_eq!(t.predict(x), y, "{x:?}");
+        }
+        assert!(t.depth() >= 2);
+    }
+
+    #[test]
+    fn depth_limit_forces_leaf() {
+        let xs = vec![vec![0.0], vec![1.0]];
+        let ys = vec![0, 1];
+        let cfg = TreeConfig { max_depth: 0, ..Default::default() };
+        let t = DecisionTree::fit(&xs, &ys, 2, &cfg, &mut rng());
+        assert_eq!(t.depth(), 0);
+    }
+
+    #[test]
+    fn pure_node_stops_splitting() {
+        let xs = vec![vec![0.0], vec![1.0], vec![2.0]];
+        let ys = vec![1, 1, 1];
+        let t = DecisionTree::fit(&xs, &ys, 2, &TreeConfig::default(), &mut rng());
+        assert_eq!(t.depth(), 0);
+        assert_eq!(t.predict(&[5.0]), 1);
+    }
+
+    #[test]
+    fn gini_extremes() {
+        assert_eq!(gini(&[4, 0], 4), 0.0);
+        assert!((gini(&[2, 2], 4) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn bad_label_panics() {
+        DecisionTree::fit(&[vec![0.0]], &[3], 2, &TreeConfig::default(), &mut rng());
+    }
+}

@@ -1,0 +1,254 @@
+//! A concrete assignment of all 19 tuning parameters.
+
+use crate::param::{ParamId, N_PARAMS};
+
+/// A full parameter setting: one value per Table I parameter, stored in
+/// [`ParamId`] order. Values use the paper's encoding (booleans are
+/// `{1 = off, 2 = on}`, numeric parameters are powers of two, `SD` is
+/// `{1, 2, 3}` for x/y/z).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Setting(pub [u32; N_PARAMS]);
+
+impl Setting {
+    /// The all-baseline setting: one thread per point, no optimizations.
+    pub fn baseline() -> Self {
+        let mut v = [1u32; N_PARAMS];
+        v[ParamId::TBx.index()] = 32;
+        v[ParamId::TBy.index()] = 4;
+        v[ParamId::TBz.index()] = 1;
+        Setting(v)
+    }
+
+    /// Value of a parameter.
+    #[inline]
+    pub fn get(&self, p: ParamId) -> u32 {
+        self.0[p.index()]
+    }
+
+    /// Set a parameter value in place.
+    #[inline]
+    pub fn set(&mut self, p: ParamId, v: u32) {
+        self.0[p.index()] = v;
+    }
+
+    /// Copy with one parameter changed.
+    #[inline]
+    pub fn with(mut self, p: ParamId, v: u32) -> Self {
+        self.set(p, v);
+        self
+    }
+
+    /// Thread block extents `[TBx, TBy, TBz]`.
+    #[inline]
+    pub fn tb(&self) -> [u32; 3] {
+        [self.get(ParamId::TBx), self.get(ParamId::TBy), self.get(ParamId::TBz)]
+    }
+
+    /// Total threads per block.
+    #[inline]
+    pub fn tb_size(&self) -> u32 {
+        let [x, y, z] = self.tb();
+        x * y * z
+    }
+
+    /// Unroll factors `[UFx, UFy, UFz]`.
+    #[inline]
+    pub fn uf(&self) -> [u32; 3] {
+        [self.get(ParamId::UFx), self.get(ParamId::UFy), self.get(ParamId::UFz)]
+    }
+
+    /// Cyclic merging factors `[CMx, CMy, CMz]`.
+    #[inline]
+    pub fn cm(&self) -> [u32; 3] {
+        [self.get(ParamId::CMx), self.get(ParamId::CMy), self.get(ParamId::CMz)]
+    }
+
+    /// Block merging factors `[BMx, BMy, BMz]`.
+    #[inline]
+    pub fn bm(&self) -> [u32; 3] {
+        [self.get(ParamId::BMx), self.get(ParamId::BMy), self.get(ParamId::BMz)]
+    }
+
+    /// Whether shared-memory staging is enabled.
+    #[inline]
+    pub fn use_shared(&self) -> bool {
+        self.get(ParamId::UseShared) == 2
+    }
+
+    /// Whether constant memory holds the coefficients.
+    #[inline]
+    pub fn use_constant(&self) -> bool {
+        self.get(ParamId::UseConstant) == 2
+    }
+
+    /// Whether streaming is enabled.
+    #[inline]
+    pub fn use_streaming(&self) -> bool {
+        self.get(ParamId::UseStreaming) == 2
+    }
+
+    /// Whether retiming is enabled.
+    #[inline]
+    pub fn use_retiming(&self) -> bool {
+        self.get(ParamId::UseRetiming) == 2
+    }
+
+    /// Whether prefetching is enabled.
+    #[inline]
+    pub fn use_prefetching(&self) -> bool {
+        self.get(ParamId::UsePrefetching) == 2
+    }
+
+    /// Streaming dimension as a 0-based axis (0 = x, 1 = y, 2 = z).
+    #[inline]
+    pub fn sd_axis(&self) -> usize {
+        (self.get(ParamId::SD) - 1) as usize
+    }
+
+    /// Concurrent-streaming tile extent.
+    #[inline]
+    pub fn sb(&self) -> u32 {
+        self.get(ParamId::SB)
+    }
+
+    /// Points computed per thread (merging × unrolling product).
+    pub fn points_per_thread(&self) -> u64 {
+        self.uf()
+            .iter()
+            .chain(self.cm().iter())
+            .chain(self.bm().iter())
+            .map(|&v| v as u64)
+            .product()
+    }
+
+    /// Feature vector for regression/ML: numeric parameters are
+    /// `log2`-transformed so that the coefficient-of-variation comparisons
+    /// of §IV-C operate on a continuous scale; boolean and enumeration
+    /// parameters are passed through (they already start at 1).
+    pub fn features(&self) -> [f64; N_PARAMS] {
+        let mut f = [0.0; N_PARAMS];
+        for p in ParamId::ALL {
+            let v = self.get(p) as f64;
+            f[p.index()] = match p.kind() {
+                crate::param::ParamKind::Pow2 => v.log2(),
+                _ => v,
+            };
+        }
+        f
+    }
+
+    /// Normalize dependent parameters to their neutral values so that
+    /// logically-identical settings compare equal — the repair a code
+    /// generator applies: with streaming off, `SD = 1`, `SB = 1` and
+    /// prefetching off; with streaming on, the thread block is flattened
+    /// along the stream; merge conflicts resolve in favor of block
+    /// merging.
+    pub fn canonicalize(&mut self) {
+        if !self.use_streaming() {
+            self.set(ParamId::SD, 1);
+            self.set(ParamId::SB, 1);
+            self.set(ParamId::UsePrefetching, 1);
+        } else {
+            let sd = self.sd_axis();
+            let tb_p = [ParamId::TBx, ParamId::TBy, ParamId::TBz][sd];
+            self.set(tb_p, 1);
+        }
+        for d in 0..3 {
+            let (bm_p, cm_p, uf_p) = match d {
+                0 => (ParamId::BMx, ParamId::CMx, ParamId::UFx),
+                1 => (ParamId::BMy, ParamId::CMy, ParamId::UFy),
+                _ => (ParamId::BMz, ParamId::CMz, ParamId::UFz),
+            };
+            if self.get(bm_p) > 1 && self.get(cm_p) > 1 {
+                self.set(cm_p, 1);
+            }
+            // Unrolling cannot exceed the per-thread loop it unrolls.
+            let coverage = if self.use_streaming() && self.sd_axis() == d {
+                self.sb()
+            } else {
+                self.get(bm_p) * self.get(cm_p)
+            };
+            if self.get(uf_p) > coverage {
+                // Clamp down to the nearest allowed power of two.
+                let mut v = coverage.max(1);
+                v = 1 << (31 - v.leading_zeros()); // floor to pow2
+                self.set(uf_p, v);
+            }
+        }
+    }
+
+    /// Stable 64-bit hash (FNV-1a over the raw values), used to seed the
+    /// deterministic per-setting perturbations of the GPU model.
+    pub fn stable_hash(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &v in &self.0 {
+            for b in v.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+        h
+    }
+}
+
+impl std::fmt::Display for Setting {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut first = true;
+        for p in ParamId::ALL {
+            if !first {
+                write!(f, " ")?;
+            }
+            write!(f, "{}={}", p.name(), self.get(p))?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_accessors() {
+        let s = Setting::baseline();
+        assert_eq!(s.tb(), [32, 4, 1]);
+        assert_eq!(s.tb_size(), 128);
+        assert!(!s.use_shared());
+        assert!(!s.use_streaming());
+        assert_eq!(s.points_per_thread(), 1);
+    }
+
+    #[test]
+    fn with_creates_modified_copy() {
+        let s = Setting::baseline();
+        let t = s.with(ParamId::UseShared, 2).with(ParamId::UFx, 4);
+        assert!(!s.use_shared());
+        assert!(t.use_shared());
+        assert_eq!(t.uf(), [4, 1, 1]);
+        assert_eq!(t.points_per_thread(), 4);
+    }
+
+    #[test]
+    fn sd_axis_is_zero_based() {
+        let s = Setting::baseline().with(ParamId::SD, 3);
+        assert_eq!(s.sd_axis(), 2);
+    }
+
+    #[test]
+    fn features_log2_numeric_passthrough_bool() {
+        let s = Setting::baseline().with(ParamId::UFx, 8).with(ParamId::UseShared, 2);
+        let f = s.features();
+        assert_eq!(f[ParamId::UFx.index()], 3.0);
+        assert_eq!(f[ParamId::UseShared.index()], 2.0);
+        assert_eq!(f[ParamId::TBx.index()], 5.0); // log2(32)
+    }
+
+    #[test]
+    fn stable_hash_distinguishes_settings() {
+        let a = Setting::baseline();
+        let b = a.with(ParamId::UFy, 2);
+        assert_ne!(a.stable_hash(), b.stable_hash());
+        assert_eq!(a.stable_hash(), Setting::baseline().stable_hash());
+    }
+}

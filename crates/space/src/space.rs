@@ -1,0 +1,547 @@
+//! The optimization space: per-parameter value lists, explicit validity
+//! constraints, and sampling/enumeration utilities.
+
+use crate::param::{ParamId, N_PARAMS};
+use crate::setting::Setting;
+use cst_stencil::StencilSpec;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// An explicit constraint violation (§IV-B), carried in errors so tuners
+/// can report *why* a setting is invalid.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConstraintViolation {
+    /// `TBx·TBy·TBz` exceeds the 1024-thread block limit.
+    BlockTooLarge(u32),
+    /// The block is smaller than one warp: the remaining lanes are pure
+    /// waste, so no code generator emits such a configuration.
+    BlockSmallerThanWarp(u32),
+    /// An unroll factor exceeds the length of the per-thread loop it
+    /// unrolls (the merged points along that dimension).
+    UnrollExceedsCoverage { dim: usize, uf: u32, coverage: u32 },
+    /// A value is not in the parameter's allowed list.
+    ValueOutOfRange(ParamId, u32),
+    /// `SD`/`SB` differ from their neutral value while streaming is off.
+    StreamingParamsWithoutStreaming,
+    /// `SB` exceeds the grid extent of the streaming dimension.
+    StreamingBlockTooLarge { sb: u32, extent: u32 },
+    /// Concurrent streaming with an unroll factor above `SB` along the
+    /// streaming dimension.
+    UnrollExceedsStreamingBlock { uf: u32, sb: u32 },
+    /// The thread block must be flat (extent 1) along the streaming
+    /// dimension for 2.5-D streaming.
+    BlockNotFlatAlongStream,
+    /// Block and cyclic merging both enabled along the same dimension.
+    ConflictingMerge(usize),
+    /// Prefetching requires streaming (it overlaps next-tile loads).
+    PrefetchWithoutStreaming,
+    /// Merged/unrolled points per thread exceed the grid extent.
+    MergeExceedsExtent(usize),
+}
+
+impl std::fmt::Display for ConstraintViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConstraintViolation::BlockTooLarge(n) => write!(f, "thread block of {n} threads exceeds 1024"),
+            ConstraintViolation::BlockSmallerThanWarp(n) => {
+                write!(f, "thread block of {n} threads is smaller than a warp")
+            }
+            ConstraintViolation::UnrollExceedsCoverage { dim, uf, coverage } => {
+                write!(f, "unroll {uf} exceeds the {coverage}-point per-thread loop along dimension {dim}")
+            }
+            ConstraintViolation::ValueOutOfRange(p, v) => write!(f, "{p} = {v} outside its range"),
+            ConstraintViolation::StreamingParamsWithoutStreaming => {
+                write!(f, "SD/SB set while streaming is disabled")
+            }
+            ConstraintViolation::StreamingBlockTooLarge { sb, extent } => {
+                write!(f, "SB = {sb} exceeds streaming extent {extent}")
+            }
+            ConstraintViolation::UnrollExceedsStreamingBlock { uf, sb } => {
+                write!(f, "unroll {uf} exceeds concurrent-streaming block {sb}")
+            }
+            ConstraintViolation::BlockNotFlatAlongStream => {
+                write!(f, "thread block not flat along the streaming dimension")
+            }
+            ConstraintViolation::ConflictingMerge(d) => {
+                write!(f, "block and cyclic merging both enabled along dimension {d}")
+            }
+            ConstraintViolation::PrefetchWithoutStreaming => write!(f, "prefetching requires streaming"),
+            ConstraintViolation::MergeExceedsExtent(d) => {
+                write!(f, "per-thread points exceed the grid extent along dimension {d}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConstraintViolation {}
+
+/// The tuning space for one stencil: value lists per parameter plus the
+/// explicit constraint checker.
+#[derive(Debug, Clone)]
+pub struct OptSpace {
+    grid: [usize; 3],
+    values: Vec<Vec<u32>>,
+}
+
+fn pow2_up_to(max: u32) -> Vec<u32> {
+    let mut v = Vec::new();
+    let mut x = 1u32;
+    while x <= max {
+        v.push(x);
+        x <<= 1;
+    }
+    v
+}
+
+impl OptSpace {
+    /// Build the Table I space for a stencil's grid extents.
+    pub fn for_stencil(spec: &StencilSpec) -> Self {
+        Self::for_grid(spec.grid)
+    }
+
+    /// Build the space for explicit grid extents `[M1, M2, M3]`.
+    pub fn for_grid(grid: [usize; 3]) -> Self {
+        let m = [grid[0] as u32, grid[1] as u32, grid[2] as u32];
+        let max_m = *m.iter().max().unwrap();
+        let values = ParamId::ALL
+            .iter()
+            .map(|&p| match p {
+                ParamId::TBx | ParamId::TBy => pow2_up_to(1024),
+                ParamId::TBz => pow2_up_to(64),
+                ParamId::SD => vec![1, 2, 3],
+                ParamId::SB => pow2_up_to(max_m),
+                ParamId::UFx | ParamId::CMx | ParamId::BMx => pow2_up_to(m[0]),
+                ParamId::UFy | ParamId::CMy | ParamId::BMy => pow2_up_to(m[1]),
+                ParamId::UFz | ParamId::CMz | ParamId::BMz => pow2_up_to(m[2]),
+                _ => vec![1, 2], // booleans
+            })
+            .collect();
+        OptSpace { grid, values }
+    }
+
+    /// Grid extents the space was built for.
+    pub fn grid(&self) -> [usize; 3] {
+        self.grid
+    }
+
+    /// Allowed values of a parameter, ascending.
+    pub fn values(&self, p: ParamId) -> &[u32] {
+        &self.values[p.index()]
+    }
+
+    /// Index of a value in the parameter's list, if present.
+    pub fn value_index(&self, p: ParamId, v: u32) -> Option<usize> {
+        self.values(p).binary_search(&v).ok()
+    }
+
+    /// Size of the unconstrained cartesian space (log10), for reporting.
+    /// The paper quotes >10⁸ settings after explicit constraints.
+    pub fn log10_unconstrained_size(&self) -> f64 {
+        self.values.iter().map(|v| (v.len() as f64).log10()).sum()
+    }
+
+    /// Check the explicit constraints of §IV-B.
+    pub fn check_explicit(&self, s: &Setting) -> Result<(), ConstraintViolation> {
+        for p in ParamId::ALL {
+            let v = s.get(p);
+            if self.value_index(p, v).is_none() {
+                return Err(ConstraintViolation::ValueOutOfRange(p, v));
+            }
+        }
+        if s.tb_size() > 1024 {
+            return Err(ConstraintViolation::BlockTooLarge(s.tb_size()));
+        }
+        if s.tb_size() < 32 {
+            return Err(ConstraintViolation::BlockSmallerThanWarp(s.tb_size()));
+        }
+        let sd = s.sd_axis();
+        if !s.use_streaming() {
+            if s.get(ParamId::SD) != 1 || s.sb() != 1 {
+                return Err(ConstraintViolation::StreamingParamsWithoutStreaming);
+            }
+            if s.use_prefetching() {
+                return Err(ConstraintViolation::PrefetchWithoutStreaming);
+            }
+        } else {
+            let extent = self.grid[sd] as u32;
+            if s.sb() > extent {
+                return Err(ConstraintViolation::StreamingBlockTooLarge { sb: s.sb(), extent });
+            }
+            // Concurrent streaming: tiles of SB points are traversed in
+            // parallel, so the unroll along SD cannot exceed the tile.
+            if s.sb() < extent && s.uf()[sd] > s.sb() {
+                return Err(ConstraintViolation::UnrollExceedsStreamingBlock {
+                    uf: s.uf()[sd],
+                    sb: s.sb(),
+                });
+            }
+            // 2.5-D streaming keeps the block flat along the stream.
+            if s.tb()[sd] != 1 {
+                return Err(ConstraintViolation::BlockNotFlatAlongStream);
+            }
+        }
+        for d in 0..3 {
+            if s.bm()[d] > 1 && s.cm()[d] > 1 {
+                return Err(ConstraintViolation::ConflictingMerge(d));
+            }
+            let per_thread = s.bm()[d] as u64 * s.cm()[d] as u64 * s.uf()[d] as u64;
+            if per_thread > self.grid[d] as u64 {
+                return Err(ConstraintViolation::MergeExceedsExtent(d));
+            }
+            // Unrolling applies to the per-thread loop: along the streaming
+            // dimension that loop has SB trips (checked above); elsewhere
+            // it has `bm·cm` trips.
+            if !(s.use_streaming() && d == sd) {
+                let coverage = s.bm()[d] * s.cm()[d];
+                if s.uf()[d] > coverage {
+                    return Err(ConstraintViolation::UnrollExceedsCoverage {
+                        dim: d,
+                        uf: s.uf()[d],
+                        coverage,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether the setting passes all explicit constraints.
+    pub fn is_explicit_valid(&self, s: &Setting) -> bool {
+        self.check_explicit(s).is_ok()
+    }
+
+    /// Draw one uniformly random parameter assignment (not necessarily
+    /// valid).
+    pub fn random_raw(&self, rng: &mut impl Rng) -> Setting {
+        let mut v = [1u32; N_PARAMS];
+        for p in ParamId::ALL {
+            v[p.index()] = *self.values(p).choose(rng).unwrap();
+        }
+        Setting(v)
+    }
+
+    /// Draw one explicitly-valid setting by canonicalizing a raw draw and
+    /// rejection-sampling the rest.
+    pub fn random_explicit_valid(&self, rng: &mut impl Rng) -> Setting {
+        loop {
+            let mut s = self.random_raw(rng);
+            self.canonicalize(&mut s);
+            if self.is_explicit_valid(&s) {
+                return s;
+            }
+        }
+    }
+
+    /// Normalize dependent parameters (delegates to
+    /// [`Setting::canonicalize`]; kept as a space method for call-site
+    /// symmetry with the validity checks).
+    pub fn canonicalize(&self, s: &mut Setting) {
+        s.canonicalize();
+    }
+
+    /// Enumerate all value combinations of a parameter subset that are
+    /// explicitly valid when substituted into `base`, up to `limit`
+    /// combinations (in lexicographic order of value indices). This is the
+    /// per-group combination space of the iterative search (§IV-E).
+    pub fn enumerate_group(&self, base: &Setting, params: &[ParamId], limit: usize) -> Vec<Vec<u32>> {
+        let step_budget = limit.saturating_mul(64).max(200_000);
+        let mut steps = 0usize;
+        let mut out = Vec::new();
+        let lists: Vec<&[u32]> = params.iter().map(|&p| self.values(p)).collect();
+        let mut idx = vec![0usize; params.len()];
+        'outer: loop {
+            steps += 1;
+            if steps > step_budget {
+                break;
+            }
+            let combo: Vec<u32> = idx.iter().zip(&lists).map(|(&i, l)| l[i]).collect();
+            let mut s = *base;
+            for (&p, &v) in params.iter().zip(&combo) {
+                s.set(p, v);
+            }
+            if self.is_explicit_valid(&s) {
+                out.push(combo);
+                if out.len() >= limit {
+                    break;
+                }
+            }
+            // Odometer increment.
+            let mut d = params.len();
+            loop {
+                if d == 0 {
+                    break 'outer;
+                }
+                d -= 1;
+                idx[d] += 1;
+                if idx[d] < lists[d].len() {
+                    break;
+                }
+                idx[d] = 0;
+            }
+        }
+        out
+    }
+
+    /// Total combinations of a parameter subset ignoring constraints.
+    pub fn group_combo_count(&self, params: &[ParamId]) -> usize {
+        params.iter().map(|&p| self.values(p).len()).product()
+    }
+
+    /// Like [`OptSpace::enumerate_group`], but a combination is feasible
+    /// when the *canonicalized* substitution is valid. Strict validity
+    /// against a base setting couples the group to the base's topology —
+    /// e.g. with a streaming base, `useStreaming = 1` alone is invalid
+    /// because `SD`/`SB` stay set — so a tuner enumerating strictly can
+    /// never leave the base's streaming configuration. Canonicalization
+    /// repairs the dependent parameters exactly as a code generator would.
+    pub fn enumerate_group_repaired(&self, base: &Setting, params: &[ParamId], limit: usize) -> Vec<Vec<u32>> {
+        // Hard step budget: a large group whose feasible combinations are
+        // rare in lexicographic order must not turn enumeration into an
+        // unbounded scan of the cartesian space.
+        let step_budget = limit.saturating_mul(64).max(200_000);
+        let mut steps = 0usize;
+        let mut out: Vec<Vec<u32>> = Vec::new();
+        let mut seen: std::collections::HashSet<Vec<u32>> = std::collections::HashSet::new();
+        let lists: Vec<&[u32]> = params.iter().map(|&p| self.values(p)).collect();
+        let mut idx = vec![0usize; params.len()];
+        'outer: loop {
+            steps += 1;
+            if steps > step_budget {
+                break;
+            }
+            let combo: Vec<u32> = idx.iter().zip(&lists).map(|(&i, l)| l[i]).collect();
+            let mut s = *base;
+            for (&p, &v) in params.iter().zip(&combo) {
+                s.set(p, v);
+            }
+            self.canonicalize(&mut s);
+            if self.is_explicit_valid(&s) {
+                // Keep the *raw* combination: canonicalization against this
+                // base may flatten values (e.g. force TB to 1 along the
+                // base's streaming dimension) that become meaningful again
+                // when another group later moves the topology. Decoding
+                // re-canonicalizes in the final context.
+                if seen.insert(combo.clone()) {
+                    out.push(combo);
+                    if out.len() >= limit {
+                        break;
+                    }
+                }
+            }
+            let mut d = params.len();
+            loop {
+                if d == 0 {
+                    break 'outer;
+                }
+                d -= 1;
+                idx[d] += 1;
+                if idx[d] < lists[d].len() {
+                    break;
+                }
+                idx[d] = 0;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn space512() -> OptSpace {
+        OptSpace::for_grid([512, 512, 512])
+    }
+
+    #[test]
+    fn value_lists_match_table_i() {
+        let sp = space512();
+        assert_eq!(sp.values(ParamId::TBx).len(), 11); // 1..1024
+        assert_eq!(sp.values(ParamId::TBz).len(), 7); // 1..64
+        assert_eq!(sp.values(ParamId::SD), &[1, 2, 3]);
+        assert_eq!(sp.values(ParamId::UFx).len(), 10); // 1..512
+        assert_eq!(sp.values(ParamId::UseShared), &[1, 2]);
+        assert_eq!(*sp.values(ParamId::SB).last().unwrap(), 512);
+    }
+
+    #[test]
+    fn space_is_large_as_paper_claims() {
+        // >100M settings even after constraints; unconstrained must be ≥ 1e8.
+        assert!(space512().log10_unconstrained_size() > 8.0);
+    }
+
+    #[test]
+    fn baseline_is_valid() {
+        let sp = space512();
+        assert!(sp.is_explicit_valid(&Setting::baseline()));
+    }
+
+    #[test]
+    fn block_size_limit_enforced() {
+        let sp = space512();
+        let s = Setting::baseline()
+            .with(ParamId::TBx, 1024)
+            .with(ParamId::TBy, 2)
+            .with(ParamId::TBz, 1);
+        assert_eq!(sp.check_explicit(&s), Err(ConstraintViolation::BlockTooLarge(2048)));
+    }
+
+    #[test]
+    fn streaming_params_need_streaming() {
+        let sp = space512();
+        let s = Setting::baseline().with(ParamId::SB, 8);
+        assert_eq!(sp.check_explicit(&s), Err(ConstraintViolation::StreamingParamsWithoutStreaming));
+    }
+
+    #[test]
+    fn concurrent_streaming_bounds_unroll() {
+        let sp = space512();
+        let s = Setting::baseline()
+            .with(ParamId::UseStreaming, 2)
+            .with(ParamId::SD, 3)
+            .with(ParamId::TBz, 1)
+            .with(ParamId::SB, 4)
+            .with(ParamId::UFz, 8);
+        assert_eq!(
+            sp.check_explicit(&s),
+            Err(ConstraintViolation::UnrollExceedsStreamingBlock { uf: 8, sb: 4 })
+        );
+        // Full-extent SB (plain streaming) lifts the bound.
+        let s2 = s.with(ParamId::SB, 512).with(ParamId::UFz, 8);
+        assert!(sp.is_explicit_valid(&s2), "{:?}", sp.check_explicit(&s2));
+    }
+
+    #[test]
+    fn block_flat_along_stream() {
+        let sp = space512();
+        let s = Setting::baseline()
+            .with(ParamId::UseStreaming, 2)
+            .with(ParamId::SD, 3)
+            .with(ParamId::SB, 8)
+            .with(ParamId::TBz, 2);
+        assert_eq!(sp.check_explicit(&s), Err(ConstraintViolation::BlockNotFlatAlongStream));
+    }
+
+    #[test]
+    fn merge_conflict_detected() {
+        let sp = space512();
+        let s = Setting::baseline().with(ParamId::BMy, 2).with(ParamId::CMy, 4);
+        assert_eq!(sp.check_explicit(&s), Err(ConstraintViolation::ConflictingMerge(1)));
+    }
+
+    #[test]
+    fn prefetch_requires_streaming() {
+        let sp = space512();
+        let s = Setting::baseline().with(ParamId::UsePrefetching, 2);
+        assert_eq!(sp.check_explicit(&s), Err(ConstraintViolation::PrefetchWithoutStreaming));
+    }
+
+    #[test]
+    fn merge_product_bounded_by_extent() {
+        let sp = OptSpace::for_grid([64, 64, 64]);
+        let s = Setting::baseline().with(ParamId::BMy, 32).with(ParamId::UFy, 4);
+        assert_eq!(sp.check_explicit(&s), Err(ConstraintViolation::MergeExceedsExtent(1)));
+    }
+
+    #[test]
+    fn random_explicit_valid_always_valid() {
+        let sp = space512();
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..200 {
+            let s = sp.random_explicit_valid(&mut rng);
+            assert!(sp.is_explicit_valid(&s), "{s}");
+        }
+    }
+
+    #[test]
+    fn random_valid_settings_are_diverse() {
+        let sp = space512();
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..100 {
+            seen.insert(sp.random_explicit_valid(&mut rng));
+        }
+        assert!(seen.len() > 90, "only {} distinct settings", seen.len());
+    }
+
+    #[test]
+    fn canonicalize_is_idempotent_and_validating() {
+        let sp = space512();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            let mut s = sp.random_raw(&mut rng);
+            sp.canonicalize(&mut s);
+            let mut t = s;
+            sp.canonicalize(&mut t);
+            assert_eq!(s, t, "canonicalize not idempotent");
+        }
+    }
+
+    #[test]
+    fn enumerate_group_respects_constraints_and_limit() {
+        let sp = space512();
+        let base = Setting::baseline();
+        let combos = sp.enumerate_group(&base, &[ParamId::TBx, ParamId::TBy], usize::MAX);
+        // All TBx×TBy with 32 ≤ product ≤ 1024 (TBz = 1): 51 combinations.
+        assert_eq!(combos.len(), 51);
+        for c in &combos {
+            assert!((32..=1024).contains(&(c[0] * c[1])));
+        }
+        let limited = sp.enumerate_group(&base, &[ParamId::TBx, ParamId::TBy], 10);
+        assert_eq!(limited.len(), 10);
+    }
+
+    #[test]
+    fn enumerate_group_repaired_unlocks_topology_changes() {
+        let sp = space512();
+        // Streaming-along-y base: strict enumeration of [TBy] yields only
+        // {1}; repaired enumeration keeps all raw values because another
+        // group may later move the stream.
+        let base = Setting::baseline()
+            .with(ParamId::UseStreaming, 2)
+            .with(ParamId::SD, 2)
+            .with(ParamId::TBy, 1)
+            .with(ParamId::SB, 8);
+        let strict = sp.enumerate_group(&base, &[ParamId::TBy], usize::MAX);
+        assert_eq!(strict.len(), 1);
+        let repaired = sp.enumerate_group_repaired(&base, &[ParamId::TBy], usize::MAX);
+        assert!(repaired.len() > 1, "{repaired:?}");
+        // And turning streaming off alone is representable.
+        let off = sp.enumerate_group_repaired(&base, &[ParamId::UseStreaming], usize::MAX);
+        assert!(off.iter().any(|c| c[0] == 1), "{off:?}");
+    }
+
+    #[test]
+    fn repaired_combos_decode_validly_in_base_context() {
+        let sp = space512();
+        let mut rng = StdRng::seed_from_u64(99);
+        for _ in 0..20 {
+            let base = sp.random_explicit_valid(&mut rng);
+            let group = [ParamId::UseStreaming, ParamId::SD, ParamId::SB];
+            for combo in sp.enumerate_group_repaired(&base, &group, 200) {
+                let mut s = base;
+                for (&p, &v) in group.iter().zip(&combo) {
+                    s.set(p, v);
+                }
+                s.canonicalize();
+                assert!(sp.is_explicit_valid(&s), "{s} from {combo:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn enumerate_group_sees_cross_constraints_from_base() {
+        let sp = space512();
+        // Base has streaming on along z with SB = 4: UFz choices are capped.
+        let base = Setting::baseline()
+            .with(ParamId::UseStreaming, 2)
+            .with(ParamId::SD, 3)
+            .with(ParamId::TBz, 1)
+            .with(ParamId::SB, 4);
+        let combos = sp.enumerate_group(&base, &[ParamId::UFz], usize::MAX);
+        let vals: Vec<u32> = combos.into_iter().map(|c| c[0]).collect();
+        assert_eq!(vals, vec![1, 2, 4]);
+    }
+}

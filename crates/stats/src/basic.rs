@@ -1,0 +1,146 @@
+//! Scalar statistics: Eq. 1 (CV), Eq. 2 (PCC), and RSE.
+
+/// Arithmetic mean; 0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population variance (the `1/n` form of Eq. 1); 0 for fewer than two
+/// points.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Coefficient of variation `σ/μ` (Eq. 1). Returns `f64::INFINITY` when
+/// the mean is zero but the data varies, and 0 for constant data — so the
+/// grouping order is always well-defined.
+pub fn coefficient_of_variation(xs: &[f64]) -> f64 {
+    let sd = std_dev(xs);
+    if sd == 0.0 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    if m == 0.0 {
+        return f64::INFINITY;
+    }
+    (sd / m).abs()
+}
+
+/// Pearson correlation coefficient (Eq. 2). Returns 0 when either side is
+/// constant (no linear relationship can be asserted).
+///
+/// # Panics
+/// Panics if the slices differ in length.
+pub fn pearson(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "pearson needs paired samples");
+    let n = x.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let mx = mean(x);
+    let my = mean(y);
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for i in 0..n {
+        let dx = x[i] - mx;
+        let dy = y[i] - my;
+        cov += dx * dy;
+        vx += dx * dx;
+        vy += dy * dy;
+    }
+    if vx == 0.0 || vy == 0.0 {
+        return 0.0;
+    }
+    cov / (vx.sqrt() * vy.sqrt())
+}
+
+/// Residual standard error of a fit: `sqrt(RSS / (n − p))` with `p` fitted
+/// parameters. Falls back to dividing by `n` when the fit is saturated.
+///
+/// # Panics
+/// Panics if the slices differ in length or are empty.
+pub fn residual_standard_error(y: &[f64], y_hat: &[f64], n_params: usize) -> f64 {
+    assert_eq!(y.len(), y_hat.len(), "rse needs paired samples");
+    assert!(!y.is_empty(), "rse of nothing");
+    let rss: f64 = y.iter().zip(y_hat).map(|(a, b)| (a - b) * (a - b)).sum();
+    let dof = y.len().saturating_sub(n_params).max(1);
+    (rss / dof as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance_basics() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0, 6.0]), 4.0);
+        assert!((variance(&[2.0, 4.0, 6.0]) - 8.0 / 3.0).abs() < 1e-12);
+        assert_eq!(variance(&[5.0]), 0.0);
+    }
+
+    #[test]
+    fn cv_matches_hand_computation() {
+        // σ of {2,4,6} = sqrt(8/3), μ = 4.
+        let cv = coefficient_of_variation(&[2.0, 4.0, 6.0]);
+        assert!((cv - (8.0f64 / 3.0).sqrt() / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cv_edge_cases() {
+        assert_eq!(coefficient_of_variation(&[3.0, 3.0, 3.0]), 0.0);
+        assert_eq!(coefficient_of_variation(&[-1.0, 1.0]), f64::INFINITY);
+        // Negative mean: CV is reported as a magnitude.
+        assert!(coefficient_of_variation(&[-2.0, -4.0, -6.0]) > 0.0);
+    }
+
+    #[test]
+    fn pearson_perfect_and_anti_correlation() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&x, &y) - 1.0).abs() < 1e-12);
+        let z = [8.0, 6.0, 4.0, 2.0];
+        assert!((pearson(&x, &z) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_uncorrelated_and_constant() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [1.0, -1.0, 1.0, -1.0];
+        assert!(pearson(&x, &y).abs() < 0.5);
+        assert_eq!(pearson(&x, &[7.0; 4]), 0.0);
+    }
+
+    #[test]
+    fn rse_zero_for_perfect_fit() {
+        let y = [1.0, 2.0, 3.0];
+        assert_eq!(residual_standard_error(&y, &y, 1), 0.0);
+    }
+
+    #[test]
+    fn rse_accounts_for_dof() {
+        let y = [0.0, 0.0, 0.0, 0.0];
+        let yh = [1.0, 1.0, 1.0, 1.0];
+        // RSS = 4; n − p = 2 → sqrt(2).
+        assert!((residual_standard_error(&y, &yh, 2) - 2.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "paired samples")]
+    fn pearson_length_mismatch_panics() {
+        pearson(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,208 @@
+//! Performance Model Normal Form regression over parameter groups (Eq. 3).
+//!
+//! PMNF assumes performance-like quantities are combinations of polynomial
+//! and logarithmic terms of the inputs. Following the paper, parameters
+//! *within* a group (strong correlation) multiply and the groups (weak
+//! correlation) accumulate:
+//!
+//! ```text
+//! f(P) = Σ_{k=1..n} c_k · Π_{l ∈ group_k} P_l^i · log2^j(P_l)
+//! ```
+//!
+//! For a fixed exponent pair `(i, j)` the model is *linear* in the
+//! coefficients `c_k`, so each candidate is fit by (ridge) least squares —
+//! the role scikit-learn's `curve_fit` plays in the original — and the
+//! candidate with the lowest residual standard error wins. With
+//! `i ∈ {0,1,2}`, `j ∈ {0,1}` (the paper's §V-A ranges) the function search
+//! space is `|I|·|J|` regardless of the number of parameters, which is the
+//! entire point of grouping.
+
+use crate::basic::residual_standard_error;
+use crate::matrix::{lstsq_ridge, Matrix};
+
+/// One exponent pair of the PMNF search space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PmnfCandidate {
+    /// Polynomial exponent `i`.
+    pub i: u32,
+    /// Logarithm exponent `j`.
+    pub j: u32,
+}
+
+/// A fitted PMNF model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PmnfModel {
+    /// Winning exponents.
+    pub candidate: PmnfCandidate,
+    /// Parameter index groups (indices into the sample vectors).
+    pub groups: Vec<Vec<usize>>,
+    /// Fitted coefficients: intercept followed by one `c_k` per group.
+    pub coeffs: Vec<f64>,
+    /// Residual standard error on the training data.
+    pub rse: f64,
+}
+
+fn term_value(x: &[f64], group: &[usize], cand: PmnfCandidate) -> f64 {
+    let mut prod = 1.0;
+    for &l in group {
+        let v = x[l].max(1.0); // parameters are encoded ≥ 1 (§IV-B)
+        prod *= v.powi(cand.i as i32) * v.log2().powi(cand.j as i32);
+    }
+    prod
+}
+
+fn design(xs: &[Vec<f64>], groups: &[Vec<usize>], cand: PmnfCandidate) -> Matrix {
+    Matrix::from_fn(xs.len(), groups.len() + 1, |r, c| {
+        if c == 0 {
+            1.0
+        } else {
+            term_value(&xs[r], &groups[c - 1], cand)
+        }
+    })
+}
+
+impl PmnfModel {
+    /// Predict the modeled quantity for one parameter-value vector.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        let mut y = self.coeffs[0];
+        for (k, g) in self.groups.iter().enumerate() {
+            y += self.coeffs[k + 1] * term_value(x, g, self.candidate);
+        }
+        y
+    }
+}
+
+/// Fit every `(i, j)` candidate over the given exponent ranges and return
+/// the model with the smallest RSE. Candidates whose design matrix cannot
+/// be solved are skipped; the degenerate all-zero candidate `(0, 0)`
+/// (a constant model) is kept as a fallback so the function always
+/// returns a model.
+///
+/// `xs` holds one raw parameter-value vector per sample (values ≥ 1);
+/// `y` the observed quantity.
+///
+/// # Panics
+/// Panics if the sample set is empty, lengths mismatch, or `groups` is
+/// empty.
+pub fn fit_pmnf(
+    xs: &[Vec<f64>],
+    y: &[f64],
+    groups: &[Vec<usize>],
+    i_range: &[u32],
+    j_range: &[u32],
+) -> PmnfModel {
+    assert!(!xs.is_empty() && xs.len() == y.len(), "need paired samples");
+    assert!(!groups.is_empty(), "need at least one parameter group");
+    let mut best: Option<PmnfModel> = None;
+    for &i in i_range {
+        for &j in j_range {
+            let cand = PmnfCandidate { i, j };
+            let x = design(xs, groups, cand);
+            let Some(coeffs) = lstsq_ridge(&x, y, 1e-8) else { continue };
+            if coeffs.iter().any(|c| !c.is_finite()) {
+                continue;
+            }
+            let y_hat = x.mul_vec(&coeffs);
+            let rse = residual_standard_error(y, &y_hat, coeffs.len());
+            let model = PmnfModel { candidate: cand, groups: groups.to_vec(), coeffs, rse };
+            if best.as_ref().map_or(true, |b| model.rse < b.rse) {
+                best = Some(model);
+            }
+        }
+    }
+    best.expect("the constant candidate always fits")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn grid_samples(rng: &mut StdRng, n: usize) -> Vec<Vec<f64>> {
+        (0..n)
+            .map(|_| {
+                vec![
+                    2f64.powi(rng.gen_range(0..6)),
+                    2f64.powi(rng.gen_range(0..6)),
+                    2f64.powi(rng.gen_range(0..4)),
+                ]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn recovers_linear_product_model() {
+        // y = 3 + 2·(p0·p1) + 5·p2 with groups {0,1} and {2} → best (i=1, j=0).
+        let mut rng = StdRng::seed_from_u64(1);
+        let xs = grid_samples(&mut rng, 60);
+        let y: Vec<f64> = xs.iter().map(|x| 3.0 + 2.0 * x[0] * x[1] + 5.0 * x[2]).collect();
+        let m = fit_pmnf(&xs, &y, &[vec![0, 1], vec![2]], &[0, 1, 2], &[0, 1]);
+        assert_eq!(m.candidate, PmnfCandidate { i: 1, j: 0 });
+        assert!(m.rse < 1e-6, "rse = {}", m.rse);
+        assert!((m.predict(&[4.0, 8.0, 2.0]) - (3.0 + 2.0 * 32.0 + 10.0)).abs() < 1e-4);
+    }
+
+    #[test]
+    fn recovers_logarithmic_model() {
+        // y = 1 + 4·log2(p0)·log2(p1) → best (i=0, j=1).
+        let mut rng = StdRng::seed_from_u64(2);
+        let xs = grid_samples(&mut rng, 60);
+        let y: Vec<f64> = xs.iter().map(|x| 1.0 + 4.0 * x[0].log2() * x[1].log2()).collect();
+        let m = fit_pmnf(&xs, &y, &[vec![0, 1]], &[0, 1, 2], &[0, 1]);
+        assert_eq!(m.candidate, PmnfCandidate { i: 0, j: 1 });
+        assert!(m.rse < 1e-6, "rse = {}", m.rse);
+    }
+
+    #[test]
+    fn recovers_quadratic_model() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let xs = grid_samples(&mut rng, 80);
+        let y: Vec<f64> = xs.iter().map(|x| 0.5 + 1.5 * x[2] * x[2]).collect();
+        let m = fit_pmnf(&xs, &y, &[vec![2]], &[0, 1, 2], &[0, 1]);
+        assert_eq!(m.candidate, PmnfCandidate { i: 2, j: 0 });
+    }
+
+    #[test]
+    fn noisy_fit_still_selects_right_family() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let xs = grid_samples(&mut rng, 120);
+        let y: Vec<f64> = xs
+            .iter()
+            .map(|x| 10.0 + 3.0 * x[0] + rng.gen_range(-0.5..0.5))
+            .collect();
+        let m = fit_pmnf(&xs, &y, &[vec![0], vec![1], vec![2]], &[0, 1, 2], &[0, 1]);
+        // Prediction tracks the trend despite the noise.
+        let lo = m.predict(&[1.0, 4.0, 4.0]);
+        let hi = m.predict(&[32.0, 4.0, 4.0]);
+        assert!(hi - lo > 80.0, "slope lost: {lo} → {hi}");
+    }
+
+    #[test]
+    fn constant_target_yields_tiny_rse() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let xs = grid_samples(&mut rng, 30);
+        let y = vec![7.0; 30];
+        let m = fit_pmnf(&xs, &y, &[vec![0, 1, 2]], &[0, 1, 2], &[0, 1]);
+        assert!(m.rse < 1e-6);
+        assert!((m.predict(&xs[0]) - 7.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn values_below_one_are_clamped_not_nan() {
+        let m = fit_pmnf(
+            &[vec![1.0], vec![2.0], vec![4.0]],
+            &[1.0, 2.0, 3.0],
+            &[vec![0]],
+            &[1],
+            &[0],
+        );
+        assert!(m.predict(&[0.5]).is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "paired samples")]
+    fn empty_samples_panic() {
+        fit_pmnf(&[], &[], &[vec![0]], &[1], &[0]);
+    }
+}

@@ -1,0 +1,425 @@
+//! Multi-stage composite kernel definitions.
+//!
+//! A [`KernelDef`] is a small dataflow program over named arrays: each
+//! [`Stage`] sweeps the grid once and writes one temporary or output array
+//! as a sum of [`Term`]s, each term a scalar times a product of [`Factor`]s
+//! (point reads or tap sums). This is expressive enough to state the
+//! high-FLOP seismic kernels of Table III (hypterm, addsgd4/6, rhs4center)
+//! with realistic operation counts and access patterns, while staying
+//! analyzable: FLOPs, halo margins and read counts are all derived from the
+//! definition and feed the GPU performance model and the code generator.
+
+use crate::grid::Grid3;
+use crate::tap::TapStencil;
+
+/// Reference to one of the kernel's arrays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ArrayRef {
+    /// `k`-th input array (read-only).
+    Input(usize),
+    /// `k`-th temporary array (written by one stage, read by later ones).
+    Temp(usize),
+    /// `k`-th output array.
+    Output(usize),
+}
+
+/// One multiplicative factor of a term.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Factor {
+    /// The array value at the point being computed.
+    Point(ArrayRef),
+    /// A linear tap sum over the array around the point.
+    Taps(ArrayRef, TapStencil),
+}
+
+impl Factor {
+    /// Chebyshev radius of the reads this factor performs.
+    pub fn radius(&self) -> u32 {
+        match self {
+            Factor::Point(_) => 0,
+            Factor::Taps(_, s) => s.radius(),
+        }
+    }
+
+    /// The array this factor reads.
+    pub fn array(&self) -> ArrayRef {
+        match self {
+            Factor::Point(a) => *a,
+            Factor::Taps(a, _) => *a,
+        }
+    }
+
+    /// FLOPs of one evaluation of this factor.
+    pub fn flops(&self) -> u32 {
+        match self {
+            Factor::Point(_) => 0,
+            Factor::Taps(_, s) => s.flops(),
+        }
+    }
+
+    /// Number of grid points this factor reads.
+    pub fn reads(&self) -> u32 {
+        match self {
+            Factor::Point(_) => 1,
+            Factor::Taps(_, s) => s.len() as u32,
+        }
+    }
+}
+
+/// `coeff · Π factors`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Term {
+    /// Scalar coefficient.
+    pub coeff: f64,
+    /// Multiplied factors; must be non-empty.
+    pub factors: Vec<Factor>,
+}
+
+impl Term {
+    /// A term with coefficient 1.
+    pub fn of(factors: Vec<Factor>) -> Self {
+        Term { coeff: 1.0, factors }
+    }
+
+    /// A term with an explicit coefficient.
+    pub fn scaled(coeff: f64, factors: Vec<Factor>) -> Self {
+        Term { coeff, factors }
+    }
+
+    /// FLOPs of one evaluation: factor FLOPs, one multiply between
+    /// consecutive factors, and one multiply for a non-unit coefficient.
+    pub fn flops(&self) -> u32 {
+        let inner: u32 = self.factors.iter().map(Factor::flops).sum();
+        let joins = self.factors.len() as u32 - 1;
+        let coeff_mul = u32::from(self.coeff != 1.0 && self.coeff != -1.0);
+        inner + joins + coeff_mul
+    }
+}
+
+/// One grid sweep writing `out` as a sum of terms.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stage {
+    /// Destination array (must be `Temp` or `Output`).
+    pub out: ArrayRef,
+    /// Summed terms; must be non-empty.
+    pub terms: Vec<Term>,
+}
+
+impl Stage {
+    /// Construct and validate a stage.
+    ///
+    /// # Panics
+    /// Panics if the destination is an input, or any term is empty.
+    pub fn new(out: ArrayRef, terms: Vec<Term>) -> Self {
+        assert!(!matches!(out, ArrayRef::Input(_)), "stages cannot write inputs");
+        assert!(!terms.is_empty(), "a stage needs at least one term");
+        for t in &terms {
+            assert!(!t.factors.is_empty(), "a term needs at least one factor");
+        }
+        Stage { out, terms }
+    }
+
+    /// FLOPs of one point of this stage (term FLOPs plus the adds joining
+    /// terms).
+    pub fn flops(&self) -> u32 {
+        let inner: u32 = self.terms.iter().map(Term::flops).sum();
+        inner + (self.terms.len() as u32 - 1)
+    }
+
+    /// Largest tap radius used by this stage.
+    pub fn radius(&self) -> u32 {
+        self.terms
+            .iter()
+            .flat_map(|t| t.factors.iter())
+            .map(Factor::radius)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Evaluate the stage at one point given resolver access to arrays.
+    #[inline]
+    pub fn eval(&self, arrays: &Arrays<'_>, x: usize, y: usize, z: usize) -> f64 {
+        let mut sum = 0.0;
+        for term in &self.terms {
+            let mut prod = term.coeff;
+            for f in &term.factors {
+                prod *= match f {
+                    Factor::Point(a) => arrays.get(*a).get(x, y, z),
+                    Factor::Taps(a, s) => s.eval(arrays.get(*a), x, y, z),
+                };
+            }
+            sum += prod;
+        }
+        sum
+    }
+}
+
+/// Borrowed view of all arrays during interpretation.
+pub struct Arrays<'a> {
+    /// Input grids.
+    pub inputs: &'a [Grid3],
+    /// Temporary grids.
+    pub temps: &'a [Grid3],
+    /// Output grids.
+    pub outputs: &'a [Grid3],
+}
+
+impl<'a> Arrays<'a> {
+    /// Resolve an array reference.
+    #[inline]
+    pub fn get(&self, r: ArrayRef) -> &Grid3 {
+        match r {
+            ArrayRef::Input(i) => &self.inputs[i],
+            ArrayRef::Temp(i) => &self.temps[i],
+            ArrayRef::Output(i) => &self.outputs[i],
+        }
+    }
+}
+
+/// A complete composite kernel: array arity plus an ordered stage list.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelDef {
+    /// Number of input arrays.
+    pub n_inputs: usize,
+    /// Number of temporary arrays.
+    pub n_temps: usize,
+    /// Number of output arrays.
+    pub n_outputs: usize,
+    /// Stages in execution order.
+    pub stages: Vec<Stage>,
+}
+
+impl KernelDef {
+    /// Construct and validate a kernel definition: stage destinations and
+    /// factor sources must be in range, temps must be written before read,
+    /// and no stage may read its own destination (sweeps are gather-only).
+    ///
+    /// # Panics
+    /// Panics on any structural violation.
+    pub fn new(n_inputs: usize, n_temps: usize, n_outputs: usize, stages: Vec<Stage>) -> Self {
+        assert!(!stages.is_empty(), "a kernel needs at least one stage");
+        let in_range = |r: ArrayRef| match r {
+            ArrayRef::Input(i) => i < n_inputs,
+            ArrayRef::Temp(i) => i < n_temps,
+            ArrayRef::Output(i) => i < n_outputs,
+        };
+        let mut temp_written = vec![false; n_temps];
+        for st in &stages {
+            assert!(in_range(st.out), "stage destination out of range: {:?}", st.out);
+            for t in &st.terms {
+                for f in &t.factors {
+                    let src = f.array();
+                    assert!(in_range(src), "factor source out of range: {src:?}");
+                    assert_ne!(src, st.out, "a stage cannot read its own destination");
+                    if let ArrayRef::Temp(i) = src {
+                        assert!(temp_written[i], "temp {i} read before written");
+                    }
+                }
+            }
+            if let ArrayRef::Temp(i) = st.out {
+                temp_written[i] = true;
+            }
+        }
+        KernelDef { n_inputs, n_temps, n_outputs, stages }
+    }
+
+    /// Total FLOPs per output point, summing every stage's per-point cost
+    /// amortized as one evaluation each (all stages sweep the same grid).
+    pub fn flops_per_point(&self) -> u32 {
+        self.stages.iter().map(Stage::flops).sum()
+    }
+
+    /// Largest single tap radius anywhere in the kernel (= the paper's
+    /// stencil *order*).
+    pub fn max_tap_radius(&self) -> u32 {
+        self.stages.iter().map(Stage::radius).max().unwrap_or(0)
+    }
+
+    /// Number of *input-array* grid reads per output point across all
+    /// stages. Temporaries are excluded: generated GPU code keeps the
+    /// per-point dataflow in registers, so only input taps reach the
+    /// memory system.
+    pub fn reads_per_point(&self) -> u32 {
+        self.stages
+            .iter()
+            .flat_map(|s| s.terms.iter())
+            .flat_map(|t| t.factors.iter())
+            .filter(|f| matches!(f.array(), ArrayRef::Input(_)))
+            .map(Factor::reads)
+            .sum()
+    }
+
+    /// Per-array halo margins: `margins.0[i]` for temps, `margins.1[i]`
+    /// for outputs. A stage's destination margin is the maximum over its
+    /// reads of (source margin + factor radius); inputs have margin 0.
+    /// A point of an array is only valid if it is at least `margin` away
+    /// from every face of the grid.
+    pub fn margins(&self) -> (Vec<u32>, Vec<u32>) {
+        let mut temp_m = vec![0u32; self.n_temps];
+        let mut out_m = vec![0u32; self.n_outputs];
+        for st in &self.stages {
+            let mut m = 0u32;
+            for t in &st.terms {
+                for f in &t.factors {
+                    let src_m = match f.array() {
+                        ArrayRef::Input(_) => 0,
+                        ArrayRef::Temp(i) => temp_m[i],
+                        ArrayRef::Output(i) => out_m[i],
+                    };
+                    m = m.max(src_m + f.radius());
+                }
+            }
+            match st.out {
+                ArrayRef::Temp(i) => temp_m[i] = temp_m[i].max(m),
+                ArrayRef::Output(i) => out_m[i] = out_m[i].max(m),
+                ArrayRef::Input(_) => unreachable!("validated in new()"),
+            }
+        }
+        (temp_m, out_m)
+    }
+
+    /// The widest output margin: comparisons between executors are made on
+    /// points at least this far from every face.
+    pub fn valid_margin(&self) -> u32 {
+        let (_, out_m) = self.margins();
+        out_m.into_iter().max().unwrap_or(0)
+    }
+
+    /// Number of scalar coefficients appearing in the definition
+    /// (candidates for GPU constant memory).
+    pub fn coefficient_count(&self) -> u32 {
+        let mut n = 0u32;
+        for st in &self.stages {
+            for t in &st.terms {
+                if t.coeff != 1.0 && t.coeff != -1.0 {
+                    n += 1;
+                }
+                for f in &t.factors {
+                    if let Factor::Taps(_, s) = f {
+                        n += s.taps().iter().filter(|tp| tp.coeff != 1.0 && tp.coeff != -1.0).count()
+                            as u32;
+                    }
+                }
+            }
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tap::TapStencil;
+
+    fn simple_def() -> KernelDef {
+        // temp0 = star7(in0); out0 = 0.5*in0 + temp0*in1
+        KernelDef::new(
+            2,
+            1,
+            1,
+            vec![
+                Stage::new(
+                    ArrayRef::Temp(0),
+                    vec![Term::of(vec![Factor::Taps(ArrayRef::Input(0), TapStencil::star7(0.4, 0.1))])],
+                ),
+                Stage::new(
+                    ArrayRef::Output(0),
+                    vec![
+                        Term::scaled(0.5, vec![Factor::Point(ArrayRef::Input(0))]),
+                        Term::of(vec![
+                            Factor::Point(ArrayRef::Temp(0)),
+                            Factor::Point(ArrayRef::Input(1)),
+                        ]),
+                    ],
+                ),
+            ],
+        )
+    }
+
+    #[test]
+    fn flops_counted_per_stage() {
+        let def = simple_def();
+        // Stage 1: star7 = 7 muls + 6 adds = 13.
+        // Stage 2: term1 = 1 coeff mul; term2 = 1 join mul; + 1 add = 3.
+        assert_eq!(def.flops_per_point(), 16);
+    }
+
+    #[test]
+    fn margins_cascade_through_temps() {
+        let def = simple_def();
+        let (temp_m, out_m) = def.margins();
+        assert_eq!(temp_m, vec![1]); // star7 radius 1
+        assert_eq!(out_m, vec![1]); // point-read of temp0 inherits margin 1
+        assert_eq!(def.valid_margin(), 1);
+    }
+
+    #[test]
+    fn margin_grows_when_taps_read_temps() {
+        let def = KernelDef::new(
+            1,
+            1,
+            1,
+            vec![
+                Stage::new(
+                    ArrayRef::Temp(0),
+                    vec![Term::of(vec![Factor::Taps(ArrayRef::Input(0), TapStencil::star7(1.0, 0.5))])],
+                ),
+                Stage::new(
+                    ArrayRef::Output(0),
+                    vec![Term::of(vec![Factor::Taps(ArrayRef::Temp(0), TapStencil::star7(1.0, 0.5))])],
+                ),
+            ],
+        );
+        assert_eq!(def.valid_margin(), 2); // 1 (temp) + 1 (outer taps)
+        assert_eq!(def.max_tap_radius(), 1); // order stays 1
+    }
+
+    #[test]
+    fn reads_per_point_counts_input_factors_only() {
+        let def = simple_def();
+        // 7 (star7 on in0) + 1 (in0) + 1 (in1); the temp0 read stays in
+        // registers and is excluded.
+        assert_eq!(def.reads_per_point(), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "read before written")]
+    fn temp_read_before_written_panics() {
+        let _ = KernelDef::new(
+            1,
+            1,
+            1,
+            vec![Stage::new(
+                ArrayRef::Output(0),
+                vec![Term::of(vec![Factor::Point(ArrayRef::Temp(0))])],
+            )],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot read its own destination")]
+    fn self_read_panics() {
+        let _ = KernelDef::new(
+            1,
+            0,
+            1,
+            vec![Stage::new(
+                ArrayRef::Output(0),
+                vec![Term::of(vec![Factor::Point(ArrayRef::Output(0))])],
+            )],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot write inputs")]
+    fn write_input_panics() {
+        let _ = Stage::new(ArrayRef::Input(0), vec![Term::of(vec![Factor::Point(ArrayRef::Input(0))])]);
+    }
+
+    #[test]
+    fn coefficient_count_ignores_units() {
+        let def = simple_def();
+        // star7: 7 non-unit tap coeffs; stage2: one 0.5 coefficient.
+        assert_eq!(def.coefficient_count(), 8);
+    }
+}

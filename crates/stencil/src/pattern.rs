@@ -1,0 +1,141 @@
+//! Static stencil descriptions consumed by the performance model, the
+//! parameter space, and the code generator.
+
+/// Geometric shape of the neighbor access pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StencilShape {
+    /// Accesses only along the axes (e.g. the 7-point Jacobi).
+    Star,
+    /// Accesses the full `(2k+1)^3` cube (e.g. the 27-point Jacobi).
+    Box,
+    /// Mixed axis-dominated pattern with some planar accesses, typical of
+    /// the high-order seismic kernels (hypterm, addsgd*, rhs4center).
+    Hybrid,
+}
+
+/// Broad computational class, used by the Artemis-style baseline to decide
+/// which optimizations are "high impact" for a kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StencilClass {
+    /// Low-FLOP, bandwidth-bound smoothers (j3d7pt, j3d27pt, helmholtz, cheby).
+    MemoryBound,
+    /// Hundreds of FLOPs per point, register-pressure dominated
+    /// (hypterm, addsgd4, addsgd6, rhs4center).
+    ComputeBound,
+}
+
+/// Static description of a 3-D stencil kernel: everything the auto-tuner
+/// needs to know about the workload without executing it.
+///
+/// Mirrors Table III of the paper plus the per-point access counts the
+/// GPU performance model requires.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StencilSpec {
+    /// Kernel name as used throughout the paper (e.g. `"j3d7pt"`).
+    pub name: &'static str,
+    /// Input grid extents `[M1, M2, M3]` (x, y, z).
+    pub grid: [usize; 3],
+    /// Stencil order: neighbor extent along each dimension.
+    pub order: u32,
+    /// Double-precision floating point operations per output point.
+    pub flops: u32,
+    /// Total number of input + output arrays touched per sweep.
+    pub io_arrays: u32,
+    /// Number of arrays read per sweep.
+    pub read_arrays: u32,
+    /// Number of arrays written per sweep.
+    pub write_arrays: u32,
+    /// Distinct grid points read per output point (across all read arrays).
+    pub reads_per_point: u32,
+    /// Scalar coefficients referenced by the kernel (candidates for
+    /// constant memory).
+    pub coefficients: u32,
+    /// Neighbor geometry.
+    pub shape: StencilShape,
+    /// Bandwidth- vs. compute-bound classification.
+    pub class: StencilClass,
+}
+
+impl StencilSpec {
+    /// Total number of output points of one sweep (interior updates write
+    /// the full grid minus the halo of width `order`).
+    pub fn interior_points(&self) -> usize {
+        let h = self.order as usize;
+        self.grid
+            .iter()
+            .map(|&m| m.saturating_sub(2 * h))
+            .product()
+    }
+
+    /// Total points of the full grid.
+    pub fn total_points(&self) -> usize {
+        self.grid.iter().product()
+    }
+
+    /// Total double-precision FLOPs of one sweep.
+    pub fn sweep_flops(&self) -> u64 {
+        self.interior_points() as u64 * self.flops as u64
+    }
+
+    /// Arithmetic intensity in FLOPs per byte under a *no-reuse* model:
+    /// every read goes to DRAM. The performance model refines this with
+    /// the reuse the optimizations actually achieve.
+    pub fn naive_intensity(&self) -> f64 {
+        let bytes = (self.reads_per_point + self.write_arrays) as f64 * 8.0;
+        self.flops as f64 / bytes
+    }
+
+    /// Halo width in points along each dimension.
+    pub fn halo(&self) -> usize {
+        self.order as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> StencilSpec {
+        StencilSpec {
+            name: "t",
+            grid: [16, 16, 16],
+            order: 1,
+            flops: 10,
+            io_arrays: 2,
+            read_arrays: 1,
+            write_arrays: 1,
+            reads_per_point: 7,
+            coefficients: 2,
+            shape: StencilShape::Star,
+            class: StencilClass::MemoryBound,
+        }
+    }
+
+    #[test]
+    fn interior_excludes_halo() {
+        let s = spec();
+        assert_eq!(s.interior_points(), 14 * 14 * 14);
+        assert_eq!(s.total_points(), 16 * 16 * 16);
+    }
+
+    #[test]
+    fn interior_saturates_for_tiny_grids() {
+        let mut s = spec();
+        s.grid = [2, 16, 16];
+        s.order = 2;
+        assert_eq!(s.interior_points(), 0);
+    }
+
+    #[test]
+    fn sweep_flops_scales_with_interior() {
+        let s = spec();
+        assert_eq!(s.sweep_flops(), (14 * 14 * 14) as u64 * 10);
+    }
+
+    #[test]
+    fn naive_intensity_matches_hand_count() {
+        let s = spec();
+        // 7 reads + 1 write = 8 accesses * 8 bytes = 64 bytes for 10 flops.
+        assert!((s.naive_intensity() - 10.0 / 64.0).abs() < 1e-12);
+    }
+}

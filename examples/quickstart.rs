@@ -1,0 +1,62 @@
+//! Quickstart: tune one stencil on the simulated A100 and inspect the
+//! result.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use cstuner::prelude::*;
+
+fn main() {
+    // 1. Pick a workload from the paper's Table III suite and a GPU.
+    let kernel = cstuner::stencil::suite::j3d7pt();
+    let arch = GpuArch::a100();
+    println!(
+        "Tuning {} ({}³ grid, order {}, {} flops/pt) on simulated {}",
+        kernel.spec.name, kernel.spec.grid[0], kernel.spec.order, kernel.spec.flops, arch.name
+    );
+
+    // 2. Build a simulator-backed evaluator with a 100-second virtual
+    //    tuning budget (the paper's iso-time setting).
+    let mut eval = SimEvaluator::with_budget(kernel.spec.clone(), arch, 0, 100.0);
+    let baseline_ms = eval.sim().kernel_time_ms(&Setting::baseline());
+    println!("Baseline setting: {:.3} ms", baseline_ms);
+
+    // 3. Run the csTuner pipeline: dataset → grouping → PMNF sampling →
+    //    evolutionary search with approximation.
+    let mut tuner = CsTuner::new(CsTunerConfig::default());
+    let outcome = tuner.tune(&mut eval, 0).expect("tuning failed");
+
+    println!(
+        "csTuner best: {:.3} ms ({:.2}× over baseline) after {} evaluations / {:.1}s virtual",
+        outcome.best_time_ms,
+        baseline_ms / outcome.best_time_ms,
+        outcome.evaluations,
+        outcome.search_s
+    );
+    println!("Best setting: {}", outcome.best_setting);
+    println!(
+        "Pre-processing: grouping {:.1} ms, sampling {:.1} ms, codegen {:.1} ms",
+        outcome.preproc.grouping_s * 1e3,
+        outcome.preproc.sampling_s * 1e3,
+        outcome.preproc.codegen_s * 1e3
+    );
+
+    // 4. Convergence curve (iteration, virtual time, best-so-far).
+    println!("\nConvergence:");
+    for p in outcome.curve.iter().take(12) {
+        println!("  it {:>3}  t = {:>6.1}s  best = {:.3} ms", p.iteration, p.elapsed_s, p.best_ms);
+    }
+
+    // 5. Generate the CUDA kernel for the winning setting.
+    let src = generate_cuda(&kernel, &outcome.best_setting);
+    println!(
+        "\nGenerated {} bytes of CUDA for {}; launch: grid {:?} × block {:?}",
+        src.code.len(),
+        src.kernel_name,
+        src.launch.grid,
+        src.launch.block
+    );
+    let preview: Vec<&str> = src.code.lines().take(12).collect();
+    println!("--- kernel preview ---\n{}", preview.join("\n"));
+}

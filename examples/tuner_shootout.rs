@@ -1,0 +1,52 @@
+//! Head-to-head: csTuner against the paper's baselines on one stencil.
+//!
+//! A minimal version of the §V-C iso-time comparison: every tuner gets the
+//! same 100-second virtual budget on the same simulated A100, repeated
+//! over a few seeds.
+//!
+//! ```text
+//! cargo run --release --example tuner_shootout [stencil] [budget_s]
+//! ```
+
+use cstuner::prelude::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let stencil = args.first().map(String::as_str).unwrap_or("cheby");
+    let budget: f64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(100.0);
+    let spec = cstuner::stencil::spec_by_name(stencil)
+        .unwrap_or_else(|| panic!("unknown stencil `{stencil}`; see Table III names"));
+    let arch = GpuArch::a100();
+    let seeds = 5u64;
+
+    println!("Iso-time shootout on {} ({} s budget, {} seeds, simulated {}):\n", stencil, budget, seeds, arch.name);
+    println!("{:<11} {:>10} {:>10} {:>8}", "tuner", "mean ms", "worst ms", "evals");
+
+    let mut tuners: Vec<Box<dyn Tuner>> = vec![
+        Box::new(CsTuner::new(CsTunerConfig::default())),
+        Box::new(GarveyTuner::default()),
+        Box::new(OpenTunerGa::default()),
+        Box::new(ArtemisTuner::default()),
+        Box::new(RandomSearch::default()),
+    ];
+    for tuner in tuners.iter_mut() {
+        let mut total = 0.0;
+        let mut worst = 0.0f64;
+        let mut evals = 0u64;
+        for seed in 0..seeds {
+            let mut eval = SimEvaluator::with_budget(spec.clone(), arch.clone(), seed, budget);
+            let out = tuner.tune(&mut eval, seed).expect("tuning failed");
+            total += out.best_time_ms;
+            worst = worst.max(out.best_time_ms);
+            evals += out.evaluations;
+        }
+        println!(
+            "{:<11} {:>10.3} {:>10.3} {:>8}",
+            tuner.name(),
+            total / seeds as f64,
+            worst,
+            evals / seeds
+        );
+    }
+    println!("\n(lower is better; 'worst' exposes the stability argument of §V-B)");
+}

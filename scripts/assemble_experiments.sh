@@ -1,0 +1,7 @@
+#!/bin/sh
+# Assemble EXPERIMENTS.md = commentary header + generated tables.
+set -e
+cd /root/repo
+head -n "$(grep -n '^---$' EXPERIMENTS.md | head -1 | cut -d: -f1)" EXPERIMENTS.md > /tmp/exp_header.md
+cat /tmp/exp_header.md results/all_output.md > EXPERIMENTS.md
+echo "assembled: $(wc -l < EXPERIMENTS.md) lines"

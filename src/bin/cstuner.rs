@@ -1,0 +1,140 @@
+//! `cstuner` — command-line front end.
+//!
+//! ```text
+//! cstuner list                                   # available stencils & GPUs
+//! cstuner tune  --stencil cheby [--arch a100] [--budget 100] [--seed 0]
+//!               [--tuner cstuner|garvey|opentuner|artemis|random]
+//! cstuner codegen --stencil cheby [--arch a100] [--budget 60] [--out k.cu]
+//! ```
+//!
+//! `tune` runs one iso-time tuning session and prints the outcome;
+//! `codegen` additionally emits the winning CUDA kernel.
+
+use cstuner::prelude::*;
+use cstuner::stencil::{suite, suite_ext};
+use std::collections::HashMap;
+
+fn parse_flags(args: &[String]) -> HashMap<String, String> {
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(key) = args[i].strip_prefix("--") {
+            let val = args.get(i + 1).cloned().unwrap_or_default();
+            flags.insert(key.to_string(), val);
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+    flags
+}
+
+fn all_stencils() -> Vec<StencilKernel> {
+    let mut v = suite::all_kernels();
+    v.extend(suite_ext::extension_kernels());
+    v
+}
+
+fn find_stencil(name: &str) -> StencilKernel {
+    all_stencils()
+        .into_iter()
+        .find(|k| k.spec.name == name)
+        .unwrap_or_else(|| {
+            eprintln!("unknown stencil `{name}`; run `cstuner list`");
+            std::process::exit(2);
+        })
+}
+
+fn build_tuner(name: &str) -> Box<dyn Tuner> {
+    match name {
+        "cstuner" => Box::new(CsTuner::new(CsTunerConfig::default())),
+        "garvey" => Box::new(GarveyTuner::default()),
+        "opentuner" => Box::new(OpenTunerGa::default()),
+        "artemis" => Box::new(ArtemisTuner::default()),
+        "random" => Box::new(RandomSearch::default()),
+        other => {
+            eprintln!("unknown tuner `{other}` (cstuner|garvey|opentuner|artemis|random)");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn cmd_list() {
+    println!("Stencils (paper suite):");
+    for k in suite::all_kernels() {
+        println!(
+            "  {:11} {}³-ish grid {:?}, order {}, {} flops/pt, {} arrays",
+            k.spec.name, k.spec.grid[0], k.spec.grid, k.spec.order, k.spec.flops, k.spec.io_arrays
+        );
+    }
+    println!("Stencils (extensions):");
+    for k in suite_ext::extension_kernels() {
+        println!(
+            "  {:11} grid {:?}, order {}, {} flops/pt, {} arrays",
+            k.spec.name, k.spec.grid, k.spec.order, k.spec.flops, k.spec.io_arrays
+        );
+    }
+    println!("GPUs: a100, v100, small");
+    println!("Tuners: cstuner (default), garvey, opentuner, artemis, random");
+}
+
+fn run_tune(flags: &HashMap<String, String>) -> (StencilKernel, cstuner::core::TuningOutcome) {
+    let kernel = find_stencil(flags.get("stencil").map(String::as_str).unwrap_or_else(|| {
+        eprintln!("--stencil is required; run `cstuner list`");
+        std::process::exit(2);
+    }));
+    let arch_name = flags.get("arch").map(String::as_str).unwrap_or("a100");
+    let arch = GpuArch::by_name(arch_name).unwrap_or_else(|| {
+        eprintln!("unknown arch `{arch_name}` (a100|v100|small)");
+        std::process::exit(2);
+    });
+    let budget: f64 = flags.get("budget").and_then(|s| s.parse().ok()).unwrap_or(100.0);
+    let seed: u64 = flags.get("seed").and_then(|s| s.parse().ok()).unwrap_or(0);
+    let mut tuner = build_tuner(flags.get("tuner").map(String::as_str).unwrap_or("cstuner"));
+
+    let mut eval = SimEvaluator::with_budget(kernel.spec.clone(), arch.clone(), seed, budget);
+    let baseline = eval.sim().kernel_time_ms(&Setting::baseline());
+    eprintln!(
+        "Tuning {} on simulated {} with {} ({}s budget, seed {seed})...",
+        kernel.spec.name,
+        arch.name,
+        tuner.name(),
+        budget
+    );
+    let out = tuner.tune(&mut eval, seed).unwrap_or_else(|e| {
+        eprintln!("tuning failed: {e}");
+        std::process::exit(1);
+    });
+    println!("tuner:      {}", out.tuner);
+    println!("best:       {:.4} ms  ({:.2}x over untuned baseline {:.4} ms)", out.best_time_ms, baseline / out.best_time_ms, baseline);
+    println!("setting:    {}", out.best_setting);
+    println!("evals:      {}", out.evaluations);
+    println!("search:     {:.1} s virtual", out.search_s);
+    (kernel, out)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = args.first().map(String::as_str).unwrap_or("help");
+    let flags = parse_flags(&args[1.min(args.len())..]);
+    match cmd {
+        "list" => cmd_list(),
+        "tune" => {
+            run_tune(&flags);
+        }
+        "codegen" => {
+            let (kernel, out) = run_tune(&flags);
+            let src = generate_cuda(&kernel, &out.best_setting);
+            match flags.get("out") {
+                Some(path) if !path.is_empty() => {
+                    std::fs::write(path, &src.code).expect("write CUDA source");
+                    eprintln!("wrote {} bytes to {path}", src.code.len());
+                }
+                _ => println!("\n{}", src.code),
+            }
+        }
+        _ => {
+            eprintln!("usage: cstuner <list|tune|codegen> [--stencil S] [--arch a100|v100] [--budget SECONDS] [--seed N] [--tuner T] [--out FILE]");
+        }
+    }
+}
