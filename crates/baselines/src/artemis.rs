@@ -98,7 +98,7 @@ impl Tuner for ArtemisTuner {
         let high = high_impact_params(eval.spec().class);
         let base = Setting::baseline();
         let mut rec = Recorder::new(self.pop, self.max_iterations);
-        let mut rng = StdRng::seed_from_u64(seed ^ 0xa87e_315);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x0a87_e315);
 
         // Phase 1: the expert's coarse high-impact sweep. Rather than the
         // full cartesian product (which no human would time), Artemis
@@ -131,7 +131,9 @@ impl Tuner for ArtemisTuner {
                         // Compute-bound kernels: also probe unrolling and
                         // retiming, the register-level levers.
                         phase1.push(v);
-                        phase1.push(v.with(ParamId::UFx, 4).with(ParamId::BMx, 1).with(ParamId::CMx, 4));
+                        phase1.push(
+                            v.with(ParamId::UFx, 4).with(ParamId::BMx, 1).with(ParamId::CMx, 4),
+                        );
                         phase1.push(v.with(ParamId::UseRetiming, 2));
                     }
                 }
@@ -146,6 +148,7 @@ impl Tuner for ArtemisTuner {
         }
         cleaned.shuffle(&mut rng);
         cleaned.truncate(self.enum_limit);
+        eval.prefetch(&cleaned);
         let mut ranked: Vec<(f64, Setting)> = Vec::new();
         for s in cleaned {
             if rec.done(eval) {
@@ -173,19 +176,22 @@ impl Tuner for ArtemisTuner {
                     break;
                 }
                 // Experts sweep each remaining knob over its sensible
-                // range, not the full power-of-two ladder.
+                // range, not the full power-of-two ladder. The sweep's
+                // settings are known up front, so prefetch them together.
                 let vals: Vec<u32> = expert_values(p, eval.space().values(p));
-                for v in vals {
-                    if v == current.get(p) {
-                        continue;
-                    }
+                let sweep: Vec<Setting> = vals
+                    .iter()
+                    .filter(|&&v| v != current.get(p))
+                    .filter_map(|&v| {
+                        let mut s = current.with(p, v);
+                        eval.space().canonicalize(&mut s);
+                        eval.space().is_explicit_valid(&s).then_some(s)
+                    })
+                    .collect();
+                eval.prefetch(&sweep);
+                for s in sweep {
                     if rec.done(eval) {
                         break;
-                    }
-                    let mut s = current.with(p, v);
-                    eval.space().canonicalize(&mut s);
-                    if !eval.space().is_explicit_valid(&s) {
-                        continue;
                     }
                     let t = rec.measure(eval, s);
                     if t < current_t {
@@ -203,8 +209,8 @@ impl Tuner for ArtemisTuner {
 mod tests {
     use super::*;
     use cst_gpu_sim::GpuArch;
-    use cstuner_core::SimEvaluator;
     use cst_stencil::suite;
+    use cstuner_core::SimEvaluator;
 
     #[test]
     fn high_impact_depends_on_class() {

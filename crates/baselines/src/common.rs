@@ -1,7 +1,7 @@
 //! Shared bookkeeping for baseline tuners.
 
-use cstuner_core::{CurvePoint, Evaluator, PreprocBreakdown, TuneError, TuningOutcome};
 use cst_space::Setting;
+use cstuner_core::{CurvePoint, Evaluator, PreprocBreakdown, TuneError, TuningOutcome};
 
 /// Batches evaluations into iterations of `pop` and records the
 /// best-so-far curve, matching the accounting of csTuner's search stage
@@ -59,6 +59,21 @@ impl Recorder {
         t
     }
 
+    /// Batched [`Recorder::measure`]: the evaluator prefetches the whole
+    /// chunk's model work in parallel, then each setting is measured and
+    /// accounted serially in input order, stopping once [`Recorder::done`]
+    /// holds — the bookkeeping (noise draws, clock charges, curve points)
+    /// is identical to the equivalent serial loop.
+    pub fn measure_batch(&mut self, eval: &mut dyn Evaluator, batch: &[Setting]) {
+        eval.prefetch(batch);
+        for &s in batch {
+            if self.done(eval) {
+                break;
+            }
+            self.measure(eval, s);
+        }
+    }
+
     /// Whether the tuner should stop (budget or iteration cap).
     pub fn done(&self, eval: &dyn Evaluator) -> bool {
         eval.expired() || self.iteration >= self.max_iterations
@@ -75,7 +90,11 @@ impl Recorder {
     }
 
     /// Finalize into a [`TuningOutcome`].
-    pub fn finish(mut self, name: &'static str, eval: &dyn Evaluator) -> Result<TuningOutcome, TuneError> {
+    pub fn finish(
+        mut self,
+        name: &'static str,
+        eval: &dyn Evaluator,
+    ) -> Result<TuningOutcome, TuneError> {
         if self.in_iter > 0 || self.curve.is_empty() {
             self.iteration += 1;
             self.curve.push(CurvePoint {
@@ -104,8 +123,8 @@ impl Recorder {
 mod tests {
     use super::*;
     use cst_gpu_sim::GpuArch;
-    use cstuner_core::SimEvaluator;
     use cst_stencil::suite;
+    use cstuner_core::SimEvaluator;
 
     #[test]
     fn recorder_batches_iterations() {

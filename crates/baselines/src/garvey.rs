@@ -81,8 +81,10 @@ impl Tuner for GarveyTuner {
         let mut times = dataset.times();
         times.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let q30 = times[(times.len() as f64 * 0.3) as usize];
-        let xs: Vec<Vec<f64>> = dataset.records.iter().map(|r| r.setting.features().to_vec()).collect();
-        let ys: Vec<usize> = dataset.records.iter().map(|r| usize::from(r.time_ms <= q30)).collect();
+        let xs: Vec<Vec<f64>> =
+            dataset.records.iter().map(|r| r.setting.features().to_vec()).collect();
+        let ys: Vec<usize> =
+            dataset.records.iter().map(|r| usize::from(r.time_ms <= q30)).collect();
         let forest = RandomForest::fit(&xs, &ys, 2, &RandomForestConfig::default(), &mut rng);
         let mut class_score = [0.0f64; 4];
         let mut class_n = [0usize; 4];
@@ -126,21 +128,31 @@ impl Tuner for GarveyTuner {
                 .max(2)
                 .min(combos.len());
             combos.truncate(keep);
+            // Realize the whole sampled group up front so the evaluator
+            // can warm its model caches in parallel; measurements then
+            // commit serially with the same done-checks as before.
+            let settings: Vec<Setting> = combos
+                .iter()
+                .map(|combo| {
+                    let mut s = base;
+                    for (&p, &v) in group.iter().zip(combo) {
+                        s.set(p, v);
+                    }
+                    s.canonicalize();
+                    s
+                })
+                .collect();
+            eval.prefetch(&settings);
             let mut best_combo: Option<Vec<u32>> = None;
             let mut best_t = f64::INFINITY;
-            for combo in combos {
+            for (combo, &s) in combos.iter().zip(&settings) {
                 if rec.done(eval) {
                     break;
                 }
-                let mut s = base;
-                for (&p, &v) in group.iter().zip(&combo) {
-                    s.set(p, v);
-                }
-                s.canonicalize();
                 let t = rec.measure(eval, s);
                 if t < best_t {
                     best_t = t;
-                    best_combo = Some(combo);
+                    best_combo = Some(combo.clone());
                 }
             }
             if let Some(combo) = best_combo {
@@ -160,8 +172,8 @@ impl Tuner for GarveyTuner {
 mod tests {
     use super::*;
     use cst_gpu_sim::GpuArch;
-    use cstuner_core::SimEvaluator;
     use cst_stencil::suite;
+    use cstuner_core::SimEvaluator;
 
     fn quick() -> GarveyTuner {
         GarveyTuner { dataset_size: 48, max_iterations: 20, ..Default::default() }
@@ -195,16 +207,14 @@ mod tests {
         assert_eq!(memory_class(&s), 0);
         assert_eq!(memory_class(&s.with(ParamId::UseShared, 2)), 1);
         assert_eq!(memory_class(&s.with(ParamId::UseConstant, 2)), 2);
-        assert_eq!(
-            memory_class(&s.with(ParamId::UseShared, 2).with(ParamId::UseConstant, 2)),
-            3
-        );
+        assert_eq!(memory_class(&s.with(ParamId::UseShared, 2).with(ParamId::UseConstant, 2)), 3);
     }
 
     #[test]
     fn deterministic_given_seed() {
         let run = |seed| {
-            let mut e = SimEvaluator::new(suite::spec_by_name("cheby").unwrap(), GpuArch::a100(), seed);
+            let mut e =
+                SimEvaluator::new(suite::spec_by_name("cheby").unwrap(), GpuArch::a100(), seed);
             quick().tune(&mut e, seed).unwrap().best_time_ms
         };
         assert_eq!(run(11), run(11));

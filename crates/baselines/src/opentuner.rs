@@ -51,10 +51,8 @@ impl Tuner for OpenTunerGa {
     }
 
     fn tune(&mut self, eval: &mut dyn Evaluator, seed: u64) -> Result<TuningOutcome, TuneError> {
-        let cards: Vec<u32> = ParamId::ALL
-            .iter()
-            .map(|&p| eval.space().values(p).len() as u32)
-            .collect();
+        let cards: Vec<u32> =
+            ParamId::ALL.iter().map(|&p| eval.space().values(p).len() as u32).collect();
         assert_eq!(cards.len(), N_PARAMS);
         let pop = self.ga.n_islands * self.ga.pop_per_island;
         let mut rec = Recorder::new(pop, self.max_iterations);
@@ -75,21 +73,30 @@ impl Tuner for OpenTunerGa {
         }
         state.seed_with(&seeds);
         while !rec.done(eval) {
-            let mut f = |genes: &[u32]| -> f64 {
-                // A generation evaluates dozens of settings; respect the
-                // budget *inside* the generation or the overshoot can grow
-                // to a whole population of evaluations.
-                if rec.done(eval) {
-                    return f64::NEG_INFINITY;
+            let mut f = |batch: &[Vec<u32>]| -> Vec<f64> {
+                // Decoding is pure, so the whole pending population can be
+                // realized and prefetched at once; measurements stay
+                // serial and respect the budget *inside* the generation,
+                // or the overshoot can grow to a population of evaluations.
+                let settings: Vec<Setting> = batch.iter().map(|g| Self::decode(eval, g)).collect();
+                if !rec.done(eval) {
+                    eval.prefetch(&settings);
                 }
-                let s = Self::decode(eval, genes);
-                // OpenTuner explores the raw space: invalid settings are
-                // discovered the hard way (failed compiles, spilled or
-                // unlaunchable kernels), each costing a charged evaluation.
-                let t = rec.measure(eval, s);
-                -t
+                settings
+                    .iter()
+                    .map(|&s| {
+                        if rec.done(eval) {
+                            return f64::NEG_INFINITY;
+                        }
+                        // OpenTuner explores the raw space: invalid
+                        // settings are discovered the hard way (failed
+                        // compiles, spilled or unlaunchable kernels),
+                        // each costing a charged evaluation.
+                        -rec.measure(eval, s)
+                    })
+                    .collect()
             };
-            state.step(&mut f);
+            state.step_batched(&mut f);
         }
         rec.finish(self.name(), eval)
     }
@@ -99,8 +106,8 @@ impl Tuner for OpenTunerGa {
 mod tests {
     use super::*;
     use cst_gpu_sim::GpuArch;
-    use cstuner_core::SimEvaluator;
     use cst_stencil::suite;
+    use cstuner_core::SimEvaluator;
 
     #[test]
     fn opentuner_improves_over_iterations() {
@@ -116,7 +123,8 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let run = |seed| {
-            let mut e = SimEvaluator::new(suite::spec_by_name("helmholtz").unwrap(), GpuArch::a100(), seed);
+            let mut e =
+                SimEvaluator::new(suite::spec_by_name("helmholtz").unwrap(), GpuArch::a100(), seed);
             OpenTunerGa { max_iterations: 6, ..Default::default() }
                 .tune(&mut e, seed)
                 .unwrap()

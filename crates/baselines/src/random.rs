@@ -26,9 +26,11 @@ impl Tuner for RandomSearch {
 
     fn tune(&mut self, eval: &mut dyn Evaluator, _seed: u64) -> Result<TuningOutcome, TuneError> {
         let mut rec = Recorder::new(self.pop, self.max_iterations);
+        // One population per chunk: draws stay on the evaluator's rng
+        // stream, then the chunk is prefetched and measured in order.
         while !rec.done(eval) {
-            let s = eval.random_valid();
-            rec.measure(eval, s);
+            let chunk: Vec<_> = (0..self.pop).map(|_| eval.random_valid()).collect();
+            rec.measure_batch(eval, &chunk);
         }
         rec.finish(self.name(), eval)
     }
@@ -38,8 +40,8 @@ impl Tuner for RandomSearch {
 mod tests {
     use super::*;
     use cst_gpu_sim::GpuArch;
-    use cstuner_core::SimEvaluator;
     use cst_stencil::suite;
+    use cstuner_core::SimEvaluator;
 
     #[test]
     fn random_search_finds_finite_best() {
@@ -53,7 +55,12 @@ mod tests {
 
     #[test]
     fn iso_time_budget_stops_search() {
-        let mut e = SimEvaluator::with_budget(suite::spec_by_name("j3d7pt").unwrap(), GpuArch::a100(), 4, 15.0);
+        let mut e = SimEvaluator::with_budget(
+            suite::spec_by_name("j3d7pt").unwrap(),
+            GpuArch::a100(),
+            4,
+            15.0,
+        );
         let mut t = RandomSearch::default();
         let out = t.tune(&mut e, 4).unwrap();
         assert!(out.search_s >= 15.0);

@@ -14,9 +14,7 @@ use cst_ga::{GaConfig, GaState, Genome};
 use cst_gpu_sim::{GpuArch, GpuSim, ValidSpace};
 use cst_space::{OptSpace, Setting};
 use cst_stencil::suite;
-use cstuner_core::{
-    group_from_dataset, CsTuner, CsTunerConfig, PerfDataset, SimEvaluator, Tuner,
-};
+use cstuner_core::{group_from_dataset, CsTuner, CsTunerConfig, PerfDataset, SimEvaluator, Tuner};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hint::black_box;
@@ -42,7 +40,9 @@ fn bench_space(c: &mut Criterion) {
     let spec = suite::spec_by_name("j3d7pt").unwrap();
     let space = OptSpace::for_stencil(&spec);
     let s = Setting::baseline();
-    g.bench_function("check_explicit", |b| b.iter(|| black_box(space.check_explicit(black_box(&s)))));
+    g.bench_function("check_explicit", |b| {
+        b.iter(|| black_box(space.check_explicit(black_box(&s))))
+    });
     let vs = ValidSpace::new(space, GpuSim::new(spec, GpuArch::a100()));
     g.bench_function("random_valid", |b| {
         let mut rng = StdRng::seed_from_u64(1);
@@ -73,7 +73,9 @@ fn bench_pmnf(c: &mut Criterion) {
 fn bench_grouping(c: &mut Criterion) {
     let mut e = SimEvaluator::new(suite::spec_by_name("addsgd4").unwrap(), GpuArch::a100(), 4);
     let ds = PerfDataset::collect(&mut e, 128, 5);
-    c.bench_function("grouping/alg1_128rec", |b| b.iter(|| black_box(group_from_dataset(black_box(&ds)))));
+    c.bench_function("grouping/alg1_128rec", |b| {
+        b.iter(|| black_box(group_from_dataset(black_box(&ds))))
+    });
 }
 
 fn bench_ga(c: &mut Criterion) {
@@ -109,7 +111,12 @@ fn bench_end_to_end(c: &mut Criterion) {
         b.iter(|| {
             let spec = suite::spec_by_name("j3d7pt").unwrap();
             let mut e = SimEvaluator::new(spec, GpuArch::a100(), 0);
-            let cfg = CsTunerConfig { dataset_size: 48, max_iterations: 5, codegen_cap: 8, ..Default::default() };
+            let cfg = CsTunerConfig {
+                dataset_size: 48,
+                max_iterations: 5,
+                codegen_cap: 8,
+                ..Default::default()
+            };
             black_box(CsTuner::new(cfg).tune(&mut e, 0).unwrap().best_time_ms)
         })
     });

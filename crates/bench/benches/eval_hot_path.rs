@@ -1,0 +1,91 @@
+//! Micro-benchmarks of the concurrent evaluation engine:
+//!
+//! - the per-call cost of a footprint/cost-model evaluation with and
+//!   without the simulator's shared memo (a cache hit must be far cheaper
+//!   than a recompute — the hot path queries the same record for
+//!   validity, measurement and clock charge),
+//! - batch population evaluation through `Evaluator::evaluate_batch`
+//!   (parallel prefetch + serial commit) against the plain serial
+//!   `evaluate` loop on a cold evaluator.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use cst_gpu_sim::{GpuArch, GpuSim};
+use cst_space::Setting;
+use cst_stencil::suite;
+use cstuner_core::{Evaluator, SimEvaluator};
+use std::hint::black_box;
+
+fn population(seed: u64, n: usize) -> (SimEvaluator, Vec<Setting>) {
+    let spec = suite::spec_by_name("rhs4center").unwrap();
+    // Draw with a throwaway evaluator: its validity checks warm its own
+    // sim memo, so evaluation below must use a fresh one (fresh caches)
+    // to measure the cold hot path.
+    let mut drawer = SimEvaluator::new(spec.clone(), GpuArch::a100(), seed);
+    let pop: Vec<Setting> = (0..n).map(|_| drawer.random_valid()).collect();
+    (SimEvaluator::new(spec, GpuArch::a100(), seed), pop)
+}
+
+fn bench_footprint_cost(c: &mut Criterion) {
+    let mut g = c.benchmark_group("eval-hot-path");
+    let spec = suite::spec_by_name("rhs4center").unwrap();
+    let cached = GpuSim::new(spec.clone(), GpuArch::a100());
+    let uncached = GpuSim::new(spec, GpuArch::a100()).without_memo();
+    let s = Setting::baseline();
+    // Warm the cache once so the cached variant measures pure hits.
+    let _ = cached.evaluate_full(&s);
+    g.bench_function("record/memo_hit", |b| {
+        b.iter(|| black_box(cached.evaluate_full(black_box(&s))))
+    });
+    g.bench_function("record/uncached", |b| {
+        b.iter(|| black_box(uncached.evaluate_full(black_box(&s))))
+    });
+    // The full validity → measure → clock-charge triple for one fresh
+    // setting: with the memo this computes one record, without it three.
+    g.bench_function("triple/memoized", |b| {
+        b.iter_batched(
+            || GpuSim::new(suite::spec_by_name("rhs4center").unwrap(), GpuArch::a100()),
+            |sim| {
+                black_box(sim.resource_ok(&s));
+                black_box(sim.kernel_time_ms(&s));
+                black_box(sim.eval_cost_s(&s));
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("triple/uncached", |b| {
+        b.iter(|| {
+            black_box(uncached.resource_ok(&s));
+            black_box(uncached.kernel_time_ms(&s));
+            black_box(uncached.eval_cost_s(&s));
+        })
+    });
+    g.finish();
+}
+
+fn bench_batch_vs_serial(c: &mut Criterion) {
+    let mut g = c.benchmark_group("population-eval");
+    g.sample_size(10);
+    for n in [64usize, 256] {
+        g.bench_function(format!("batch/{n}"), |b| {
+            b.iter_batched(
+                || population(9, n),
+                |(mut e, pop)| black_box(e.evaluate_batch(&pop)),
+                BatchSize::SmallInput,
+            )
+        });
+        g.bench_function(format!("serial/{n}"), |b| {
+            b.iter_batched(
+                || population(9, n),
+                |(mut e, pop)| {
+                    let out: Vec<f64> = pop.iter().map(|s| e.evaluate(s)).collect();
+                    black_box(out)
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_footprint_cost, bench_batch_vs_serial);
+criterion_main!(benches);

@@ -76,7 +76,9 @@ fn table1() {
         t.push(vec![p.optimization().to_string(), p.name().to_string(), range]);
     }
     let log10 = space.log10_unconstrained_size();
-    println!("Unconstrained space: 10^{log10:.1} settings (paper: >10^8 after explicit constraints)\n");
+    println!(
+        "Unconstrained space: 10^{log10:.1} settings (paper: >10^8 after explicit constraints)\n"
+    );
     emit(t, &log10);
 }
 
@@ -144,9 +146,7 @@ fn fig2(scale: &Scale) {
         avg_top += fraction_at_least(l, 0.8);
         avg_bottom += bins[0];
         t.push(
-            std::iter::once(l.stencil.to_string())
-                .chain(bins.iter().map(|&b| pct(b)))
-                .collect(),
+            std::iter::once(l.stencil.to_string()).chain(bins.iter().map(|&b| pct(b))).collect(),
         );
         raw.push((l.stencil, bins));
     }
@@ -174,9 +174,7 @@ fn fig3(scale: &Scale) {
         avg_diverging += 1.0 - bins[0];
         avg_gt40 += bins[2] + bins[3] + bins[4];
         t.push(
-            std::iter::once(l.stencil.to_string())
-                .chain(bins.iter().map(|&b| pct(b)))
-                .collect(),
+            std::iter::once(l.stencil.to_string()).chain(bins.iter().map(|&b| pct(b))).collect(),
         );
         raw.push((l.stencil, bins));
     }
@@ -207,22 +205,21 @@ fn fig4(scale: &Scale) {
         raw.push((l.stencil, s));
     }
     let n = ls.len() as f64;
-    t.push(vec![
-        "**average**".to_string(),
-        pct(sums[0] / n),
-        pct(sums[1] / n),
-        pct(sums[2] / n),
-    ]);
+    t.push(vec!["**average**".to_string(), pct(sums[0] / n), pct(sums[1] / n), pct(sums[2] / n)]);
     println!("(paper averages: 96.7% / 92.4% / 90.1%)\n");
     emit(t, &raw);
 }
+
+/// One labelled column of a convergence table: header text plus the
+/// statistic extracted from a (stencil, tuner) subset of runs.
+type ColumnFn = (String, Box<dyn Fn(&[&RunResult]) -> Option<f64>>);
 
 fn curve_table(
     id: &str,
     title: &str,
     runs: &[RunResult],
     specs: &[StencilSpec],
-    columns: &[(String, Box<dyn Fn(&[&RunResult]) -> Option<f64>>)],
+    columns: &[ColumnFn],
 ) {
     let mut t = Table::new(
         id,
@@ -233,10 +230,8 @@ fn curve_table(
     );
     for spec in specs {
         for kind in TunerKind::PAPER {
-            let subset: Vec<&RunResult> = runs
-                .iter()
-                .filter(|r| r.stencil == spec.name && r.tuner == kind.name())
-                .collect();
+            let subset: Vec<&RunResult> =
+                runs.iter().filter(|r| r.stencil == spec.name && r.tuner == kind.name()).collect();
             if subset.is_empty() {
                 continue;
             }
@@ -257,7 +252,7 @@ fn fig8(scale: &Scale) {
         run_iso_iteration(s, &GpuArch::a100(), k, iters, seed)
     });
     let marks: Vec<u32> = (1..=iters).collect();
-    let columns: Vec<(String, Box<dyn Fn(&[&RunResult]) -> Option<f64>>)> = marks
+    let columns: Vec<ColumnFn> = marks
         .into_iter()
         .map(|i| {
             (
@@ -283,7 +278,7 @@ fn fig9(scale: &Scale) {
         run_iso_time(s, &GpuArch::a100(), k, budget, seed)
     });
     let marks: Vec<f64> = [0.1, 0.2, 0.4, 0.6, 0.8, 1.0].iter().map(|f| f * budget).collect();
-    let columns: Vec<(String, Box<dyn Fn(&[&RunResult]) -> Option<f64>>)> = marks
+    let columns: Vec<ColumnFn> = marks
         .into_iter()
         .map(|t_s| {
             (
@@ -362,7 +357,11 @@ fn fig11(scale: &Scale) {
     let runs: Vec<(String, f64, RunResult)> = jobs
         .par_iter()
         .map(|(spec, r, seed)| {
-            (spec.name.to_string(), *r, run_cstuner_with_ratio(spec, &GpuArch::a100(), *r, budget, *seed))
+            (
+                spec.name.to_string(),
+                *r,
+                run_cstuner_with_ratio(spec, &GpuArch::a100(), *r, budget, *seed),
+            )
         })
         .collect();
     let mut t = Table::new(
@@ -388,7 +387,8 @@ fn fig11(scale: &Scale) {
         }
         t.push(row);
     }
-    let raw: Vec<(String, f64, f64)> = runs.iter().map(|(n, r, run)| (n.clone(), *r, run.best_ms)).collect();
+    let raw: Vec<(String, f64, f64)> =
+        runs.iter().map(|(n, r, run)| (n.clone(), *r, run.best_ms)).collect();
     emit(t, &raw);
 }
 
@@ -420,16 +420,16 @@ fn fig12(scale: &Scale) {
     emit(t, &raw);
 }
 
+/// One ablation variant: label plus a factory for its tuner config.
+type VariantFn = (&'static str, Box<dyn Fn() -> CsTunerConfig + Sync>);
+
 fn ablation(scale: &Scale) {
     let specs = all_specs();
     let budget = scale.budget_s;
     let seeds = scale.ratio_seeds;
-    let variants: Vec<(&str, Box<dyn Fn() -> CsTunerConfig + Sync>)> = vec![
+    let variants: Vec<VariantFn> = vec![
         ("full", Box::new(CsTunerConfig::default)),
-        (
-            "no-grouping",
-            Box::new(|| CsTunerConfig { flat_grouping: true, ..Default::default() }),
-        ),
+        ("no-grouping", Box::new(|| CsTunerConfig { flat_grouping: true, ..Default::default() })),
         (
             "random-sampling",
             Box::new(|| CsTunerConfig {
@@ -471,9 +471,7 @@ fn ablation(scale: &Scale) {
     let mut t = Table::new(
         "ablation",
         "Ablation — csTuner variants, iso-time best (ms)",
-        &std::iter::once("Stencil")
-            .chain(variants.iter().map(|(n, _)| *n))
-            .collect::<Vec<_>>(),
+        &std::iter::once("Stencil").chain(variants.iter().map(|(n, _)| *n)).collect::<Vec<_>>(),
     );
     for spec in &specs {
         let mut row = vec![spec.name.to_string()];
@@ -502,16 +500,13 @@ fn main() {
     let ids: Vec<&str> = args
         .iter()
         .enumerate()
-        .filter(|(i, a)| {
-            !a.starts_with("--")
-                && !(*i > 0 && args[i - 1] == "--seeds")
-        })
+        .filter(|(i, a)| !a.starts_with("--") && (*i == 0 || args[i - 1] != "--seeds"))
         .map(|(_, s)| s.as_str())
         .collect();
     let ids: Vec<&str> = if ids.is_empty() || ids.contains(&"all") {
         vec![
-            "table1", "table2", "table3", "fig2", "fig3", "fig4", "fig8", "fig9", "fig10",
-            "fig11", "fig12", "ablation",
+            "table1", "table2", "table3", "fig2", "fig3", "fig4", "fig8", "fig9", "fig10", "fig11",
+            "fig12", "ablation",
         ]
     } else {
         ids

@@ -78,11 +78,8 @@ pub fn speedup_distribution(l: &Landscape) -> [f64; 5] {
 /// Fraction of settings achieving a speedup of at least `threshold` over
 /// the optimum (e.g. 0.8 for "within 20% of optimal").
 pub fn fraction_at_least(l: &Landscape, threshold: f64) -> f64 {
-    let hits = l
-        .samples
-        .iter()
-        .filter(|(_, t)| t.is_finite() && l.best_ms / t >= threshold)
-        .count();
+    let hits =
+        l.samples.iter().filter(|(_, t)| t.is_finite() && l.best_ms / t >= threshold).count();
     hits as f64 / l.samples.len() as f64
 }
 
@@ -108,7 +105,8 @@ pub fn pair_divergences(l: &Landscape) -> Vec<f64> {
     // Pre-index: for each parameter value, the best sample.
     for a in ParamId::ALL {
         // value of a -> (best time, b-values of that record)
-        let mut cond: std::collections::HashMap<u32, (f64, Setting)> = std::collections::HashMap::new();
+        let mut cond: std::collections::HashMap<u32, (f64, Setting)> =
+            std::collections::HashMap::new();
         for &(s, t) in &l.samples {
             if !t.is_finite() {
                 continue;

@@ -4,12 +4,12 @@
 //! Tables render to GitHub markdown for EXPERIMENTS.md and serialize to
 //! JSON under `results/` so downstream tooling can re-plot the figures.
 
-use serde::Serialize;
+use serde::{Serialize, Value};
 use std::fmt::Write as _;
 use std::path::Path;
 
 /// A rendered experiment table.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table {
     /// Experiment identifier, e.g. `"fig2"`.
     pub id: String,
@@ -19,6 +19,17 @@ pub struct Table {
     pub header: Vec<String>,
     /// Data rows (already formatted as strings).
     pub rows: Vec<Vec<String>>,
+}
+
+impl Serialize for Table {
+    fn to_value(&self) -> Value {
+        Value::object(vec![
+            ("id".to_string(), self.id.to_value()),
+            ("title".to_string(), self.title.to_value()),
+            ("header".to_string(), self.header.to_value()),
+            ("rows".to_string(), self.rows.to_value()),
+        ])
+    }
 }
 
 impl Table {
@@ -47,7 +58,8 @@ impl Table {
         writeln!(s, "### {}", self.title).unwrap();
         writeln!(s).unwrap();
         writeln!(s, "| {} |", self.header.join(" | ")).unwrap();
-        writeln!(s, "|{}|", self.header.iter().map(|_| "---").collect::<Vec<_>>().join("|")).unwrap();
+        writeln!(s, "|{}|", self.header.iter().map(|_| "---").collect::<Vec<_>>().join("|"))
+            .unwrap();
         for row in &self.rows {
             writeln!(s, "| {} |", row.join(" | ")).unwrap();
         }
@@ -58,13 +70,21 @@ impl Table {
     /// `dir/<id>.json`.
     pub fn write_json<T: Serialize>(&self, dir: &Path, raw: &T) -> std::io::Result<()> {
         std::fs::create_dir_all(dir)?;
-        #[derive(Serialize)]
         struct Payload<'a, T> {
             table: &'a Table,
             raw: &'a T,
         }
+        impl<T: Serialize> Serialize for Payload<'_, T> {
+            fn to_value(&self) -> Value {
+                Value::object(vec![
+                    ("table".to_string(), self.table.to_value()),
+                    ("raw".to_string(), self.raw.to_value()),
+                ])
+            }
+        }
         let f = std::fs::File::create(dir.join(format!("{}.json", self.id)))?;
-        serde_json::to_writer_pretty(f, &Payload { table: self, raw }).map_err(std::io::Error::other)
+        serde_json::to_writer_pretty(f, &Payload { table: self, raw })
+            .map_err(std::io::Error::other)
     }
 }
 

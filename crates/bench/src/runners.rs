@@ -7,10 +7,10 @@ use cst_gpu_sim::GpuArch;
 use cst_stencil::StencilSpec;
 use cstuner_core::{CsTuner, CsTunerConfig, SamplingConfig, SimEvaluator, Tuner, TuningOutcome};
 use rayon::prelude::*;
-use serde::Serialize;
+use serde::{Serialize, Value};
 
 /// The tuners of the §V comparison, constructed fresh per run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TunerKind {
     /// The paper's contribution.
     CsTuner,
@@ -44,7 +44,9 @@ impl TunerKind {
     /// iteration cap.
     pub fn build(self, max_iterations: u32) -> Box<dyn Tuner> {
         match self {
-            TunerKind::CsTuner => Box::new(CsTuner::new(CsTunerConfig { max_iterations, ..Default::default() })),
+            TunerKind::CsTuner => {
+                Box::new(CsTuner::new(CsTunerConfig { max_iterations, ..Default::default() }))
+            }
             TunerKind::Garvey => Box::new(GarveyTuner { max_iterations, ..Default::default() }),
             TunerKind::OpenTuner => Box::new(OpenTunerGa { max_iterations, ..Default::default() }),
             TunerKind::Artemis => Box::new(ArtemisTuner { max_iterations, ..Default::default() }),
@@ -53,8 +55,22 @@ impl TunerKind {
     }
 }
 
+impl Serialize for TunerKind {
+    fn to_value(&self) -> Value {
+        // Match serde-derive's unit-variant encoding: the variant name.
+        let variant = match self {
+            TunerKind::CsTuner => "CsTuner",
+            TunerKind::Garvey => "Garvey",
+            TunerKind::OpenTuner => "OpenTuner",
+            TunerKind::Artemis => "Artemis",
+            TunerKind::Random => "Random",
+        };
+        Value::String(variant.to_string())
+    }
+}
+
 /// One tuning run's curve, serializable for the JSON result files.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct RunResult {
     /// Stencil name.
     pub stencil: String,
@@ -72,6 +88,21 @@ pub struct RunResult {
     pub preproc_s: [f64; 3],
     /// Virtual search seconds used.
     pub search_s: f64,
+}
+
+impl Serialize for RunResult {
+    fn to_value(&self) -> Value {
+        Value::object(vec![
+            ("stencil".to_string(), self.stencil.to_value()),
+            ("tuner".to_string(), self.tuner.to_value()),
+            ("seed".to_string(), self.seed.to_value()),
+            ("best_ms".to_string(), self.best_ms.to_value()),
+            ("curve".to_string(), self.curve.to_value()),
+            ("evaluations".to_string(), self.evaluations.to_value()),
+            ("preproc_s".to_string(), self.preproc_s.to_value()),
+            ("search_s".to_string(), self.search_s.to_value()),
+        ])
+    }
 }
 
 fn to_run_result(stencil: &str, seed: u64, out: &TuningOutcome) -> RunResult {
@@ -160,12 +191,7 @@ where
 pub fn mean_best_at_iteration(runs: &[&RunResult], iter: u32) -> Option<f64> {
     let mut acc = 0.0;
     for r in runs {
-        let v = r
-            .curve
-            .iter()
-            .take_while(|(i, _, _)| *i <= iter)
-            .last()
-            .map(|(_, _, b)| *b)?;
+        let v = r.curve.iter().take_while(|(i, _, _)| *i <= iter).last().map(|(_, _, b)| *b)?;
         acc += v;
     }
     Some(acc / runs.len() as f64)
@@ -177,13 +203,7 @@ pub fn mean_best_at_iteration(runs: &[&RunResult], iter: u32) -> Option<f64> {
 pub fn mean_best_at_time(runs: &[&RunResult], t_s: f64) -> Option<f64> {
     let mut acc = 0.0;
     for r in runs {
-        let v = r
-            .curve
-            .iter()
-            .take_while(|(_, e, _)| *e <= t_s)
-            .last()
-            .map(|(_, _, b)| *b)
-            .or_else(|| if r.curve.first().map(|(_, e, _)| *e <= t_s).unwrap_or(false) { None } else { None })?;
+        let v = r.curve.iter().take_while(|(_, e, _)| *e <= t_s).last().map(|(_, _, b)| *b)?;
         acc += v;
     }
     Some(acc / runs.len() as f64)

@@ -98,7 +98,9 @@ fn term_exprs(terms: &[Term], ctx: Ctx, coeff_idx: &mut usize) -> Vec<String> {
         for f in &t.factors {
             match f {
                 Factor::Point(a) => fparts.push(point_expr(*a, 0, 0, 0, ctx)),
-                Factor::Taps(a, taps) => fparts.push(format!("({})", tap_expr(*a, taps, ctx, coeff_idx))),
+                Factor::Taps(a, taps) => {
+                    fparts.push(format!("({})", tap_expr(*a, taps, ctx, coeff_idx)))
+                }
             }
         }
         let prod = fparts.join(" * ");
@@ -149,13 +151,10 @@ pub fn generate_cuda(kernel: &StencilKernel, s: &Setting) -> CudaSource {
     let kernel_name = format!("{}_kernel", spec.name);
     let streaming = s.use_streaming();
     let sd = s.sd_axis();
-    let ctx_body = Ctx {
-        staged: s.use_shared(),
-        streaming,
-        const_mem: s.use_constant(),
-        in_device: false,
-    };
-    let ctx_dev = Ctx { staged: false, streaming: false, const_mem: s.use_constant(), in_device: true };
+    let ctx_body =
+        Ctx { staged: s.use_shared(), streaming, const_mem: s.use_constant(), in_device: false };
+    let ctx_dev =
+        Ctx { staged: false, streaming: false, const_mem: s.use_constant(), in_device: true };
     let uf = s.uf();
     let [nx, ny, nz] = spec.grid;
     let h = spec.halo();
@@ -163,7 +162,8 @@ pub fn generate_cuda(kernel: &StencilKernel, s: &Setting) -> CudaSource {
     let mut c = String::with_capacity(16 * 1024);
     let w = &mut c;
     writeln!(w, "// Auto-generated by csTuner codegen").unwrap();
-    writeln!(w, "// stencil: {} (order {}, {} flops/pt)", spec.name, spec.order, spec.flops).unwrap();
+    writeln!(w, "// stencil: {} (order {}, {} flops/pt)", spec.name, spec.order, spec.flops)
+        .unwrap();
     writeln!(w, "// setting: {s}").unwrap();
     writeln!(w, "#include <cuda_runtime.h>").unwrap();
     writeln!(w).unwrap();
@@ -199,7 +199,8 @@ pub fn generate_cuda(kernel: &StencilKernel, s: &Setting) -> CudaSource {
     }
 
     // Kernel signature.
-    let outs: Vec<String> = (0..def.n_outputs).map(|i| format!("double* __restrict__ out{i}")).collect();
+    let outs: Vec<String> =
+        (0..def.n_outputs).map(|i| format!("double* __restrict__ out{i}")).collect();
     writeln!(
         w,
         "extern \"C\" __global__ void __launch_bounds__({}) {kernel_name}(\n    {},\n    {}) {{",
@@ -218,20 +219,36 @@ pub fn generate_cuda(kernel: &StencilKernel, s: &Setting) -> CudaSource {
         let v = dims[d];
         let cov = launch.coverage[d];
         if streaming && d == sd {
-            writeln!(w, "    int {v}0 = ({bdim} * {blk2} + {tdim}) * {cov};  // streaming tile base",
-                bdim = bdim[d], blk2 = blk[d], tdim = tdim[d]).unwrap();
+            writeln!(
+                w,
+                "    int {v}0 = ({bdim} * {blk2} + {tdim}) * {cov};  // streaming tile base",
+                bdim = bdim[d],
+                blk2 = blk[d],
+                tdim = tdim[d]
+            )
+            .unwrap();
         } else if s.cm()[d] > 1 {
             // Cyclic merging: stride between a thread's points is the
             // number of threads along the dimension.
             writeln!(w, "    int {v}0 = {bdim} * {blk2} + {tdim};  // cyclic base (stride = gridDim.{v} * {blk2})",
                 bdim = bdim[d], blk2 = blk[d], tdim = tdim[d]).unwrap();
         } else {
-            writeln!(w, "    int {v}0 = ({bdim} * {blk2} + {tdim}) * {cov};  // block-merged base",
-                bdim = bdim[d], blk2 = blk[d], tdim = tdim[d]).unwrap();
+            writeln!(
+                w,
+                "    int {v}0 = ({bdim} * {blk2} + {tdim}) * {cov};  // block-merged base",
+                bdim = bdim[d],
+                blk2 = blk[d],
+                tdim = tdim[d]
+            )
+            .unwrap();
         }
     }
     if ctx_body.staged {
-        writeln!(w, "    int lx = threadIdx.x + {h}, ly = threadIdx.y + {h}, lz = threadIdx.z + {h};").unwrap();
+        writeln!(
+            w,
+            "    int lx = threadIdx.x + {h}, ly = threadIdx.y + {h}, lz = threadIdx.z + {h};"
+        )
+        .unwrap();
         let n_stage = spec.read_arrays.min(3) as usize;
         for i in 0..n_stage {
             let zdim = if streaming {
@@ -249,7 +266,8 @@ pub fn generate_cuda(kernel: &StencilKernel, s: &Setting) -> CudaSource {
         }
     }
     if s.use_prefetching() {
-        writeln!(w, "    double pf[{}];  // prefetch double buffer", spec.read_arrays.min(3)).unwrap();
+        writeln!(w, "    double pf[{}];  // prefetch double buffer", spec.read_arrays.min(3))
+            .unwrap();
     }
 
     // Streaming loop opening.
@@ -261,7 +279,12 @@ pub fn generate_cuda(kernel: &StencilKernel, s: &Setting) -> CudaSource {
         writeln!(w, "        int {v} = {v}0 + {v}s;").unwrap();
         if s.use_prefetching() {
             writeln!(w, "        // prefetch next plane while computing this one").unwrap();
-            writeln!(w, "        if ({v}s + 1 < {}) {{ pf[0] = in0[IDX(x0, y0, {v} + 1)]; }}", launch.coverage[sd]).unwrap();
+            writeln!(
+                w,
+                "        if ({v}s + 1 < {}) {{ pf[0] = in0[IDX(x0, y0, {v} + 1)]; }}",
+                launch.coverage[sd]
+            )
+            .unwrap();
         }
         if ctx_body.staged {
             writeln!(w, "        s_in0[W(0)][ly][lx] = in0[IDX(x0, y0, {v})];").unwrap();
@@ -284,7 +307,8 @@ pub fn generate_cuda(kernel: &StencilKernel, s: &Setting) -> CudaSource {
             }
             if s.cm()[d] > 1 {
                 writeln!(w, "{indent}for (int {v}m = 0; {v}m < {cov}; ++{v}m) {{").unwrap();
-                writeln!(w, "{indent}    int {v} = {v}0 + {v}m * (gridDim.{v} * {});", blk[d]).unwrap();
+                writeln!(w, "{indent}    int {v} = {v}0 + {v}m * (gridDim.{v} * {});", blk[d])
+                    .unwrap();
             } else {
                 writeln!(w, "{indent}for (int {v}m = 0; {v}m < {cov}; ++{v}m) {{").unwrap();
                 writeln!(w, "{indent}    int {v} = {v}0 + {v}m;").unwrap();
@@ -294,7 +318,8 @@ pub fn generate_cuda(kernel: &StencilKernel, s: &Setting) -> CudaSource {
         } else {
             writeln!(w, "{indent}int {v} = {v}0;").unwrap();
             if uf[d] > 1 {
-                writeln!(w, "{indent}// unroll factor {} folded into straight-line code", uf[d]).unwrap();
+                writeln!(w, "{indent}// unroll factor {} folded into straight-line code", uf[d])
+                    .unwrap();
             }
         }
     }
@@ -326,7 +351,8 @@ pub fn generate_cuda(kernel: &StencilKernel, s: &Setting) -> CudaSource {
             }
             ArrayRef::Output(_) => {
                 if retiming {
-                    writeln!(w, "{indent}double acc_{dst} = 0.0;  // retimed accumulation").unwrap();
+                    writeln!(w, "{indent}double acc_{dst} = 0.0;  // retimed accumulation")
+                        .unwrap();
                     for te in &exprs {
                         writeln!(w, "{indent}acc_{dst} += {te};").unwrap();
                     }
@@ -406,7 +432,11 @@ mod tests {
                 assert!(src.code.contains(&format!("in{i}")), "{} missing in{i}", k.spec.name);
             }
             for i in 0..k.def.n_outputs {
-                assert!(src.code.contains(&format!("out{i}[IDX(")), "{} missing out{i} store", k.spec.name);
+                assert!(
+                    src.code.contains(&format!("out{i}[IDX(")),
+                    "{} missing out{i} store",
+                    k.spec.name
+                );
             }
         }
     }

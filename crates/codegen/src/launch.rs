@@ -27,12 +27,9 @@ impl LaunchConfig {
         let streaming = s.use_streaming();
         let sd = s.sd_axis();
         let mut coverage = [1u32; 3];
-        for d in 0..3 {
-            coverage[d] = if streaming && d == sd {
-                s.sb().max(1)
-            } else {
-                (s.bm()[d] * s.cm()[d]).max(1)
-            };
+        for (d, cov) in coverage.iter_mut().enumerate() {
+            *cov =
+                if streaming && d == sd { s.sb().max(1) } else { (s.bm()[d] * s.cm()[d]).max(1) };
         }
         let block = s.tb();
         let mut grid = [1u32; 3];
@@ -61,16 +58,20 @@ impl LaunchConfig {
 
     /// Total threads launched.
     pub fn total_threads(&self) -> u64 {
-        (0..3)
-            .map(|d| self.block[d] as u64 * self.grid[d] as u64)
-            .product()
+        (0..3).map(|d| self.block[d] as u64 * self.grid[d] as u64).product()
     }
 
     /// Render as a CUDA launch statement.
     pub fn launch_stmt(&self, kernel: &str, args: &str) -> String {
         format!(
             "{kernel}<<<dim3({}, {}, {}), dim3({}, {}, {}), {}>>>({args});",
-            self.grid[0], self.grid[1], self.grid[2], self.block[0], self.block[1], self.block[2], self.shmem_bytes
+            self.grid[0],
+            self.grid[1],
+            self.grid[2],
+            self.block[0],
+            self.block[1],
+            self.block[2],
+            self.shmem_bytes
         )
     }
 }

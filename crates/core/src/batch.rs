@@ -1,0 +1,161 @@
+//! Batched evaluation service over any [`Evaluator`].
+//!
+//! [`BatchEvaluator`] is the concurrency seam of the tuner: callers hand it
+//! whole populations / chunks of candidates, it warms the underlying
+//! simulator's shared memo in parallel (via [`Evaluator::prefetch`]) and
+//! then commits measurements **serially in canonical input order**, so the
+//! rng stream and the virtual-clock trajectory are bit-identical to a
+//! plain `evaluate` loop for a fixed seed. Parallelism only overlaps the
+//! deterministic model work; everything observable stays sequential.
+//!
+//! The wrapper also keeps batching statistics so benchmarks and tests can
+//! check how much of the workload actually went through the wide path.
+
+use crate::evaluator::Evaluator;
+use cst_gpu_sim::{MetricsReport, VirtualClock};
+use cst_space::{OptSpace, Setting};
+use cst_stencil::StencilSpec;
+
+/// Counters describing how evaluations were batched.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct BatchStats {
+    /// Number of `evaluate_batch` calls served.
+    pub batches: u64,
+    /// Total settings submitted through the batch path (incl. repeats).
+    pub batched_settings: u64,
+    /// Largest single batch seen.
+    pub largest_batch: usize,
+    /// Settings evaluated one-by-one through the scalar path.
+    pub scalar_settings: u64,
+}
+
+/// An [`Evaluator`] adaptor that routes work through the batch path and
+/// records batching statistics. Deref-free by design: it *is* an
+/// `Evaluator`, so tuners can be written once against the trait and get
+/// batching by construction.
+#[derive(Debug, Clone)]
+pub struct BatchEvaluator<E: Evaluator> {
+    inner: E,
+    stats: BatchStats,
+}
+
+impl<E: Evaluator> BatchEvaluator<E> {
+    /// Wrap an evaluator.
+    pub fn new(inner: E) -> Self {
+        BatchEvaluator { inner, stats: BatchStats::default() }
+    }
+
+    /// The wrapped evaluator.
+    pub fn inner(&self) -> &E {
+        &self.inner
+    }
+
+    /// Mutable access to the wrapped evaluator.
+    pub fn inner_mut(&mut self) -> &mut E {
+        &mut self.inner
+    }
+
+    /// Unwrap, discarding statistics.
+    pub fn into_inner(self) -> E {
+        self.inner
+    }
+
+    /// Batching counters accumulated so far.
+    pub fn stats(&self) -> BatchStats {
+        self.stats
+    }
+
+    /// Reset the batching counters (the wrapped evaluator is untouched).
+    pub fn reset_stats(&mut self) {
+        self.stats = BatchStats::default();
+    }
+}
+
+impl<E: Evaluator> Evaluator for BatchEvaluator<E> {
+    fn spec(&self) -> &StencilSpec {
+        self.inner.spec()
+    }
+
+    fn space(&self) -> &OptSpace {
+        self.inner.space()
+    }
+
+    fn is_valid(&self, s: &Setting) -> bool {
+        self.inner.is_valid(s)
+    }
+
+    fn evaluate(&mut self, s: &Setting) -> f64 {
+        self.stats.scalar_settings += 1;
+        self.inner.evaluate(s)
+    }
+
+    fn prefetch(&mut self, batch: &[Setting]) {
+        self.inner.prefetch(batch);
+    }
+
+    fn evaluate_batch(&mut self, batch: &[Setting]) -> Vec<f64> {
+        self.stats.batches += 1;
+        self.stats.batched_settings += batch.len() as u64;
+        self.stats.largest_batch = self.stats.largest_batch.max(batch.len());
+        self.inner.evaluate_batch(batch)
+    }
+
+    fn profile_offline(&mut self, s: &Setting) -> MetricsReport {
+        self.inner.profile_offline(s)
+    }
+
+    fn clock(&self) -> &VirtualClock {
+        self.inner.clock()
+    }
+
+    fn unique_evaluations(&self) -> u64 {
+        self.inner.unique_evaluations()
+    }
+
+    fn random_valid(&mut self) -> Setting {
+        self.inner.random_valid()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluator::SimEvaluator;
+    use cst_gpu_sim::GpuArch;
+    use cst_stencil::suite;
+
+    fn eval() -> SimEvaluator {
+        SimEvaluator::new(suite::spec_by_name("j3d7pt").unwrap(), GpuArch::a100(), 5)
+    }
+
+    #[test]
+    fn wrapper_is_transparent() {
+        let mut plain = eval();
+        let mut wrapped = BatchEvaluator::new(eval());
+        let batch: Vec<Setting> = (0..24).map(|_| plain.random_valid()).collect();
+        // Re-sync rng state consumed by random_valid above.
+        let batch2: Vec<Setting> = (0..24).map(|_| wrapped.random_valid()).collect();
+        assert_eq!(batch, batch2);
+        let a = plain.evaluate_batch(&batch);
+        let b = wrapped.evaluate_batch(&batch);
+        assert_eq!(a, b);
+        assert_eq!(plain.clock().now_s(), wrapped.clock().now_s());
+        assert_eq!(plain.unique_evaluations(), wrapped.unique_evaluations());
+    }
+
+    #[test]
+    fn stats_track_batches_and_scalars() {
+        let mut e = BatchEvaluator::new(eval());
+        let batch: Vec<Setting> = (0..10).map(|_| e.random_valid()).collect();
+        e.evaluate_batch(&batch);
+        e.evaluate_batch(&batch[..4]);
+        e.evaluate(&batch[0]);
+        let st = e.stats();
+        assert_eq!(st.batches, 2);
+        assert_eq!(st.batched_settings, 14);
+        assert_eq!(st.largest_batch, 10);
+        assert_eq!(st.scalar_settings, 1);
+        e.reset_stats();
+        assert_eq!(e.stats(), BatchStats::default());
+    }
+}

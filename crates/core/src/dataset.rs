@@ -36,19 +36,36 @@ impl PerfDataset {
     /// clock (§V-F: metric collection happens once, offline).
     pub fn collect(eval: &mut dyn Evaluator, n: usize, seed: u64) -> Self {
         assert!(n >= 4, "a dataset needs a handful of records");
-        let mut rng = StdRng::seed_from_u64(seed ^ 0xda7a_5e7);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x0da7_a5e7);
         let mut seen = std::collections::HashSet::with_capacity(n);
         let mut records = Vec::with_capacity(n);
         // Rejection sampling over the valid space; the space is vastly
-        // larger than any dataset so this terminates quickly.
+        // larger than any dataset so this terminates quickly. Candidates
+        // are drawn a chunk at a time so the evaluator can warm its model
+        // caches in parallel before the serial accept/profile loop; the
+        // accepted records are the same prefix of the same rng stream a
+        // one-at-a-time loop would produce (the rng is local, so the
+        // tail overdraw in the final chunk is unobservable).
+        const CHUNK: usize = 64;
         while records.len() < n {
-            let mut s = eval.space().random_raw(&mut rng);
-            eval.space().canonicalize(&mut s);
-            if !eval.is_valid(&s) || !seen.insert(s) {
-                continue;
+            let chunk: Vec<Setting> = (0..CHUNK)
+                .map(|_| {
+                    let mut s = eval.space().random_raw(&mut rng);
+                    eval.space().canonicalize(&mut s);
+                    s
+                })
+                .collect();
+            eval.prefetch(&chunk);
+            for s in chunk {
+                if records.len() >= n {
+                    break;
+                }
+                if !eval.is_valid(&s) || !seen.insert(s) {
+                    continue;
+                }
+                let metrics = eval.profile_offline(&s);
+                records.push(DatasetRecord { setting: s, time_ms: metrics.time_ms, metrics });
             }
-            let metrics = eval.profile_offline(&s);
-            records.push(DatasetRecord { setting: s, time_ms: metrics.time_ms, metrics });
         }
         PerfDataset { records }
     }
@@ -73,10 +90,7 @@ impl PerfDataset {
 
     /// Raw parameter values (as `f64`) per record, the PMNF design input.
     pub fn param_values(&self) -> Vec<Vec<f64>> {
-        self.records
-            .iter()
-            .map(|r| r.setting.0.iter().map(|&v| v as f64).collect())
-            .collect()
+        self.records.iter().map(|r| r.setting.0.iter().map(|&v| v as f64).collect()).collect()
     }
 
     /// One metric's value across records.

@@ -84,7 +84,8 @@ pub fn group_parameters(pairs: &[PairCv]) -> Vec<Vec<ParamId>> {
     sorted.sort_by(|x, y| x.cv.partial_cmp(&y.cv).unwrap_or(std::cmp::Ordering::Equal));
     let mut deque: VecDeque<PairCv> = sorted.into();
     let mut groups: Vec<Vec<ParamId>> = Vec::new();
-    let contains = |groups: &Vec<Vec<ParamId>>, p: ParamId| groups.iter().position(|g| g.contains(&p));
+    let contains =
+        |groups: &Vec<Vec<ParamId>>, p: ParamId| groups.iter().position(|g| g.contains(&p));
     let que_size = deque.len();
     for i in 0..que_size {
         if i % 2 == 1 {
@@ -159,7 +160,10 @@ pub fn synthetic_dataset(settings: Vec<(Setting, f64)>) -> PerfDataset {
             .map(|(setting, time_ms)| DatasetRecord {
                 setting,
                 time_ms,
-                metrics: cst_gpu_sim::MetricsReport { time_ms, values: [0.0; cst_gpu_sim::N_METRICS] },
+                metrics: cst_gpu_sim::MetricsReport {
+                    time_ms,
+                    values: [0.0; cst_gpu_sim::N_METRICS],
+                },
             })
             .collect(),
     }
@@ -251,10 +255,7 @@ mod tests {
         // Synthetic landscape where the best UFy value flips with BMy:
         // their interaction CV must exceed that of unrelated bool params.
         let mk = |bmy: u32, ufy: u32, t: f64| {
-            (
-                Setting::baseline().with(ParamId::BMy, bmy).with(ParamId::UFy, ufy),
-                t,
-            )
+            (Setting::baseline().with(ParamId::BMy, bmy).with(ParamId::UFy, ufy), t)
         };
         let ds = synthetic_dataset(vec![
             mk(1, 1, 10.0),

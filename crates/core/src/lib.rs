@@ -26,6 +26,7 @@
 //! the baselines in `cst-baselines`, enabling the paper's iso-iteration
 //! and iso-time comparisons.
 
+pub mod batch;
 pub mod dataset;
 pub mod evaluator;
 pub mod grouping;
@@ -34,9 +35,12 @@ pub mod pipeline;
 pub mod sampling;
 pub mod search;
 
+pub use batch::{BatchEvaluator, BatchStats};
 pub use dataset::{DatasetRecord, PerfDataset};
 pub use evaluator::{Evaluator, SimEvaluator};
 pub use grouping::{group_from_dataset, group_parameters, is_partition, pairwise_cv, PairCv};
 pub use metric_comb::{combine_metrics, select_representatives};
-pub use pipeline::{CsTuner, CsTunerConfig, CurvePoint, PreprocBreakdown, TuneError, Tuner, TuningOutcome};
+pub use pipeline::{
+    CsTuner, CsTunerConfig, CurvePoint, PreprocBreakdown, TuneError, Tuner, TuningOutcome,
+};
 pub use sampling::{sample_space, SampledSpace, SamplingConfig};

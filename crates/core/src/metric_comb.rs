@@ -66,7 +66,10 @@ pub fn combine_metrics(dataset: &PerfDataset, num_collections: usize) -> Vec<Vec
 /// highest |PCC| against execution time. Returns `(metric index,
 /// signed PCC vs. time)` pairs — the sign tells the sampler which
 /// direction of the metric predicts slowness.
-pub fn select_representatives(dataset: &PerfDataset, collections: &[Vec<usize>]) -> Vec<(usize, f64)> {
+pub fn select_representatives(
+    dataset: &PerfDataset,
+    collections: &[Vec<usize>],
+) -> Vec<(usize, f64)> {
     let times = dataset.times();
     collections
         .iter()

@@ -64,20 +64,12 @@ impl TuningOutcome {
     /// Best time at or before the given iteration, if any iteration
     /// completed by then.
     pub fn best_at_iteration(&self, iter: u32) -> Option<f64> {
-        self.curve
-            .iter()
-            .take_while(|p| p.iteration <= iter)
-            .last()
-            .map(|p| p.best_ms)
+        self.curve.iter().take_while(|p| p.iteration <= iter).last().map(|p| p.best_ms)
     }
 
     /// Best time at or before the given virtual time.
     pub fn best_at_time(&self, t_s: f64) -> Option<f64> {
-        self.curve
-            .iter()
-            .take_while(|p| p.elapsed_s <= t_s)
-            .last()
-            .map(|p| p.best_ms)
+        self.curve.iter().take_while(|p| p.elapsed_s <= t_s).last().map(|p| p.best_ms)
     }
 }
 
@@ -93,7 +85,9 @@ pub enum TuneError {
 impl std::fmt::Display for TuneError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            TuneError::BudgetTooSmall => write!(f, "time budget expired before the first evaluation"),
+            TuneError::BudgetTooSmall => {
+                write!(f, "time budget expired before the first evaluation")
+            }
             TuneError::EmptySpace => write!(f, "no valid settings to search"),
         }
     }
@@ -209,7 +203,10 @@ impl Tuner for CsTuner {
 
         // Pre-processing stage 2: metric combination + PMNF sampling.
         let t = Instant::now();
-        let reps = select_representatives(&dataset, &combine_metrics(&dataset, self.cfg.n_metric_collections));
+        let reps = select_representatives(
+            &dataset,
+            &combine_metrics(&dataset, self.cfg.n_metric_collections),
+        );
         let sampled = sample_space(&dataset, &groups, &reps, eval, &self.cfg.sampling);
         let sampling_s = t.elapsed().as_secs_f64();
 
@@ -271,7 +268,12 @@ mod tests {
     use cst_stencil::suite;
 
     fn quick_cfg() -> CsTunerConfig {
-        CsTunerConfig { dataset_size: 48, max_iterations: 15, codegen_cap: 16, ..Default::default() }
+        CsTunerConfig {
+            dataset_size: 48,
+            max_iterations: 15,
+            codegen_cap: 16,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -299,7 +301,8 @@ mod tests {
     fn iso_time_run_respects_budget() {
         let spec = suite::spec_by_name("addsgd6").unwrap();
         let mut e = SimEvaluator::with_budget(spec, GpuArch::a100(), 2, 60.0);
-        let mut tuner = CsTuner::new(CsTunerConfig { dataset_size: 48, codegen_cap: 16, ..Default::default() });
+        let mut tuner =
+            CsTuner::new(CsTunerConfig { dataset_size: 48, codegen_cap: 16, ..Default::default() });
         let out = tuner.tune(&mut e, 2).unwrap();
         assert!(out.search_s <= 70.0, "search used {}", out.search_s);
         assert!(out.best_time_ms.is_finite());

@@ -99,6 +99,23 @@ impl SampledSpace {
         order
     }
 
+    /// Predicted-slowness score of a full setting under the tuner's own
+    /// fitted models: the PMNF time model anchors the score and each
+    /// metric model refines it, weighted by its signed correlation with
+    /// time — the same scoring rule the sampling cut applies. Pure,
+    /// cheap and thread-safe, so concurrent screening (e.g. the island
+    /// GA's parallel driver) can rank candidates without touching the
+    /// evaluator.
+    pub fn predicted_slowness(&self, s: &Setting) -> f64 {
+        let x: Vec<f64> = s.0.iter().map(|&v| v as f64).collect();
+        let mut sc = 2.0 * (self.time_model.predict(&x) - self.time_mu) / self.time_sigma;
+        for m in &self.models {
+            let z = (m.model.predict(&x) - m.mu) / m.sigma;
+            sc += m.time_pcc * z;
+        }
+        sc
+    }
+
     /// Gene vector whose decoded setting equals the base (every group's
     /// combo matching the base's values), if present in the sampled space.
     pub fn base_genes(&self) -> Option<Vec<u32>> {
@@ -166,10 +183,8 @@ pub fn sample_space(
     // identical products for every exponent pair); the singleton terms —
     // themselves trivially groups of size one in the Eq. 3 form — restore
     // that resolution while keeping the model linear in its coefficients.
-    let mut group_indices: Vec<Vec<usize>> = groups
-        .iter()
-        .map(|g| g.iter().map(|p| p.index()).collect())
-        .collect();
+    let mut group_indices: Vec<Vec<usize>> =
+        groups.iter().map(|g| g.iter().map(|p| p.index()).collect()).collect();
     for p in ParamId::ALL {
         let singleton = vec![p.index()];
         if !group_indices.contains(&singleton) {
@@ -270,9 +285,8 @@ pub fn sample_space(
         }
         impact.push(std_dev(&all_scores));
         scored.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
-        let keep = ((scored.len() as f64 * cfg.ratio).ceil() as usize)
-            .max(cfg.min_keep)
-            .min(scored.len());
+        let keep =
+            ((scored.len() as f64 * cfg.ratio).ceil() as usize).max(cfg.min_keep).min(scored.len());
         let mut kept: Vec<Vec<u32>> = scored.into_iter().take(keep).map(|(_, c)| c).collect();
         kept.extend(context_dependent);
         // Always retain the incumbent's own values so the search starts
@@ -286,7 +300,16 @@ pub fn sample_space(
         kept.dedup();
         combos.push(kept);
     }
-    SampledSpace { groups: groups.to_vec(), combos, models, time_model, time_mu, time_sigma, base, impact }
+    SampledSpace {
+        groups: groups.to_vec(),
+        combos,
+        models,
+        time_model,
+        time_mu,
+        time_sigma,
+        base,
+        impact,
+    }
 }
 
 #[cfg(test)]
@@ -323,8 +346,8 @@ mod tests {
 
     #[test]
     fn ratio_controls_sampled_size() {
-        let (small, _) = build("cheby", 0.05);
-        let (large, _) = build("cheby", 0.5);
+        let (small, _) = build("rhs4center", 0.05);
+        let (large, _) = build("rhs4center", 0.5);
         assert!(
             large.size() > small.size(),
             "50% sample ({}) must exceed 5% sample ({})",

@@ -10,16 +10,25 @@
 //! individual's value and the search narrows to the next group — the
 //! approximation that removes the hand-tuned iteration count.
 
-use crate::evaluator::Evaluator;
+use crate::evaluator::{serial_mode, Evaluator};
 use crate::pipeline::CurvePoint;
 use crate::sampling::SampledSpace;
-use cst_ga::{GaConfig, GaState, Genome};
+use cst_ga::{GaConfig, GaState, Genome, IslandGa};
 use cst_space::Setting;
 use cst_stats::coefficient_of_variation;
 
 /// Fraction of the remaining time budget granted to the joint GA phase
 /// before the iterative per-group refinement takes over.
 const GA_BUDGET_SHARE: f64 = 0.2;
+
+/// Candidates per prefetch chunk in the exhaustive pre-pass: large enough
+/// to keep every core busy warming the simulator memo, small enough that
+/// an expiring budget wastes little speculative model work.
+const PREFETCH_CHUNK: usize = 64;
+
+/// Group cardinality above which the refinement sweep adds a nominee
+/// screened by the parallel island GA over the tuner's own PMNF models.
+const SCREEN_CARD_MIN: u32 = 512;
 
 /// Search stage configuration.
 #[derive(Debug, Clone)]
@@ -114,27 +123,41 @@ pub fn evolutionary_search(
 
     // Degeneration rule (§IV-E): a sampled space that fits inside one
     // population is searched exhaustively — the GA has nothing to evolve.
+    // Candidates are enumerated in chunks so the evaluator can warm its
+    // model caches in parallel; the measured commits (and every expiry
+    // check) stay serial in enumeration order, exactly as an unchunked
+    // loop would run them.
     if sampled.size() <= pop_total as u64 {
         let mut idx = vec![0u32; cards.len()];
-        'exh: loop {
-            if eval.expired() || iteration >= cfg.max_iterations {
-                break;
+        let mut exhausted = false;
+        'exh: while !exhausted {
+            let mut chunk: Vec<Vec<u32>> = Vec::with_capacity(PREFETCH_CHUNK);
+            while chunk.len() < PREFETCH_CHUNK && !exhausted {
+                chunk.push(idx.clone());
+                let mut d = cards.len();
+                loop {
+                    if d == 0 {
+                        exhausted = true;
+                        break;
+                    }
+                    d -= 1;
+                    idx[d] += 1;
+                    if idx[d] < cards[d] {
+                        break;
+                    }
+                    idx[d] = 0;
+                }
             }
-            let t = measure!(sampled.decode(&idx));
-            if t <= best_ms {
-                best_genes = idx.clone();
-            }
-            let mut d = cards.len();
-            loop {
-                if d == 0 {
+            let settings: Vec<Setting> = chunk.iter().map(|g| sampled.decode(g)).collect();
+            eval.prefetch(&settings);
+            for (genes, &s) in chunk.iter().zip(&settings) {
+                if eval.expired() || iteration >= cfg.max_iterations {
                     break 'exh;
                 }
-                d -= 1;
-                idx[d] += 1;
-                if idx[d] < cards[d] {
-                    break;
+                let t = measure!(s);
+                if t <= best_ms {
+                    best_genes = genes.clone();
                 }
-                idx[d] = 0;
             }
         }
     } else if !eval.expired() && iteration < cfg.max_iterations {
@@ -145,7 +168,7 @@ pub fn evolutionary_search(
         let genome = Genome::new(cards.clone());
         let mut state = GaState::new(genome, cfg.ga, seed);
         // Seed with the incumbent so the GA starts from a known-good point.
-        state.seed_with(&[base_genes.clone()]);
+        state.seed_with(std::slice::from_ref(&base_genes));
         // Approximation cursor: the next open group to pin.
         let mut cursor = 0usize;
         let mut stalled = 0u32;
@@ -169,11 +192,17 @@ pub fn evolutionary_search(
             && (ga_budget_s.is_infinite() || eval.clock().now_s() - ga_start_s < ga_budget_s)
         {
             let uniques_before = eval.unique_evaluations();
-            let mut f = |genes: &[u32]| -> f64 {
-                let t = measure!(sampled.decode(genes));
-                -t
+            // Whole-population batches: the evaluator prefetches every
+            // pending individual's model record in parallel, then the
+            // measurements commit serially in island-major order — the
+            // exact order (and hence rng/clock trajectory) of the serial
+            // driver.
+            let mut f = |batch: &[Vec<u32>]| -> Vec<f64> {
+                let settings: Vec<Setting> = batch.iter().map(|g| sampled.decode(g)).collect();
+                eval.prefetch(&settings);
+                settings.iter().map(|&s| -measure!(s)).collect()
             };
-            state.step(&mut f);
+            state.step_batched(&mut f);
             // One generation = one iteration, even if the population only
             // re-visited memoized settings (cached results are free on
             // real hardware too).
@@ -221,33 +250,51 @@ pub fn evolutionary_search(
                 if eval.expired() || iteration >= cfg.max_iterations {
                     break;
                 }
-                let mut best_g = current[k];
-                let mut best_t = {
-                    let mut genes = current.clone();
-                    genes[k] = best_g;
-                    measure!(sampled.decode(&genes))
-                };
-                // Sweep the whole group when small; stride-sample large
-                // groups so one round stays bounded (the stride rotates
-                // with the round index, so successive rounds cover
-                // different residues).
+                // Candidate gene values for this group: the incumbent
+                // first, then a stride sample when the group is large
+                // (the stride rotates with the round index, so successive
+                // rounds cover different residues), plus — for very large
+                // groups — a nominee screened by the parallel island GA
+                // over the tuner's own PMNF prediction (no simulator
+                // access, so screening is free and thread-safe; only the
+                // nominee's *measurement* below touches the clock).
                 let card = cards[k];
                 let stride = (card / 256).max(1);
+                let mut cand: Vec<u32> = vec![current[k]];
                 let mut g = (rounds as u32) % stride;
                 while g < card {
                     if g != current[k] {
-                        if eval.expired() || iteration >= cfg.max_iterations {
-                            break;
-                        }
-                        let mut genes = current.clone();
-                        genes[k] = g;
-                        let t = measure!(sampled.decode(&genes));
-                        if t < best_t {
-                            best_t = t;
-                            best_g = g;
-                        }
+                        cand.push(g);
                     }
                     g += stride;
+                }
+                if card >= SCREEN_CARD_MIN {
+                    let nominee = screen_group(sampled, &cards, &current, k, seed);
+                    if !cand.contains(&nominee) {
+                        cand.push(nominee);
+                    }
+                }
+                // Warm the model caches for the whole sweep in one go,
+                // then commit measurements serially in candidate order.
+                let genes_of = |g: u32| {
+                    let mut genes = current.clone();
+                    genes[k] = g;
+                    genes
+                };
+                let settings: Vec<Setting> =
+                    cand.iter().map(|&g| sampled.decode(&genes_of(g))).collect();
+                eval.prefetch(&settings);
+                let mut best_g = current[k];
+                let mut best_t = measure!(settings[0]);
+                for (&g, &s) in cand.iter().zip(&settings).skip(1) {
+                    if eval.expired() || iteration >= cfg.max_iterations {
+                        break;
+                    }
+                    let t = measure!(s);
+                    if t < best_t {
+                        best_t = t;
+                        best_g = g;
+                    }
                 }
                 if best_g != current[k] {
                     current[k] = best_g;
@@ -268,6 +315,37 @@ pub fn evolutionary_search(
     }
 
     SearchResult { best_setting, best_ms, curve, iterations: iteration }
+}
+
+/// Nominate a gene value for group `k` by running the island GA's
+/// concurrent driver over the tuner's own predicted-slowness score, every
+/// other gene frozen to the incumbent context. The fitness is a pure
+/// function of the genes (a PMNF prediction — no simulator, no clock, no
+/// noise), so the parallel and serial drivers produce bit-identical
+/// nominees and only wall-clock differs; `CST_SERIAL=1` forces the serial
+/// driver for A/B benchmarking. Only the nominee's subsequent measurement
+/// is charged to the tuning clock.
+fn screen_group(
+    sampled: &SampledSpace,
+    cards: &[u32],
+    current: &[u32],
+    k: usize,
+    seed: u64,
+) -> u32 {
+    let genome = Genome::new(cards.to_vec());
+    let frozen: Vec<(usize, u32)> =
+        current.iter().enumerate().filter(|&(d, _)| d != k).map(|(d, &v)| (d, v)).collect();
+    let ga = IslandGa::new(genome, GaConfig::default())
+        .with_seeds(&[current.to_vec()])
+        .with_frozen(&frozen);
+    let fitness = |genes: &[u32]| -sampled.predicted_slowness(&sampled.decode(genes));
+    let sub_seed = seed ^ 0x9e37_79b9_7f4a_7c15 ^ (k as u64);
+    let summary = if serial_mode() {
+        ga.run_serial(6, sub_seed, fitness)
+    } else {
+        ga.run_parallel(6, sub_seed, fitness)
+    };
+    summary.best.genes[k]
 }
 
 #[cfg(test)]

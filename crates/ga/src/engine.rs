@@ -3,6 +3,7 @@
 use crate::genome::{Genome, Individual};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
 
 /// Genetic algorithm options, defaulting to the paper's §V-A values:
 /// 2 sub-populations of 16 individuals, crossover 0.8, mutation 0.005.
@@ -151,7 +152,8 @@ impl GaState {
 
     /// Fitnesses of the top `n` current individuals, descending.
     pub fn top_n_fitness(&self, n: usize) -> Vec<f64> {
-        let mut f: Vec<f64> = self.population().map(|i| i.fitness).filter(|f| f.is_finite()).collect();
+        let mut f: Vec<f64> =
+            self.population().map(|i| i.fitness).filter(|f| f.is_finite()).collect();
         f.sort_by(|a, b| b.partial_cmp(a).unwrap());
         f.truncate(n);
         f
@@ -164,11 +166,47 @@ impl GaState {
     /// `eval` maps genes to fitness (higher is better; return
     /// `f64::NEG_INFINITY` for infeasible candidates).
     pub fn step(&mut self, eval: &mut impl FnMut(&[u32]) -> f64) {
-        // Evaluate.
+        self.step_batched(&mut |batch: &[Vec<u32>]| batch.iter().map(|g| eval(g)).collect());
+    }
+
+    /// [`GaState::step`] with batched fitness evaluation: both evaluation
+    /// phases hand the whole pending population to `eval_batch` at once,
+    /// which may evaluate it concurrently as long as the returned vector
+    /// lines up index-for-index with the input (island-major order, the
+    /// same order the serial driver would have used). Breeding, best
+    /// tracking and migration are unchanged, so a serial `eval_batch`
+    /// closure reproduces [`GaState::step`] bit-for-bit.
+    pub fn step_batched(&mut self, eval_batch: &mut impl FnMut(&[Vec<u32>]) -> Vec<f64>) {
+        self.eval_pending(eval_batch);
+        self.breed();
+        // Evaluate the new generation immediately so callers observe a
+        // consistent population after each step.
+        self.eval_pending(eval_batch);
+        self.generation += 1;
+        // Migrate best individuals around the single ring.
+        if self.cfg.n_islands > 1 && self.generation.is_multiple_of(self.cfg.migration_interval) {
+            self.migrate();
+        }
+    }
+
+    /// Evaluate every individual without finite fitness (one batch call,
+    /// island-major order) and refresh the best-so-far over the whole
+    /// population using the serial driver's first-encounter tie rule.
+    fn eval_pending(&mut self, eval_batch: &mut impl FnMut(&[Vec<u32>]) -> Vec<f64>) {
+        let pending: Vec<Vec<u32>> = self
+            .islands
+            .iter()
+            .flat_map(|isl| isl.pop.iter())
+            .filter(|ind| !ind.fitness.is_finite())
+            .map(|ind| ind.genes.clone())
+            .collect();
+        let fits = if pending.is_empty() { Vec::new() } else { eval_batch(&pending) };
+        assert_eq!(fits.len(), pending.len(), "batch evaluator arity mismatch");
+        let mut fit_iter = fits.into_iter();
         for isl in &mut self.islands {
             for ind in &mut isl.pop {
                 if !ind.fitness.is_finite() {
-                    ind.fitness = eval(&ind.genes);
+                    ind.fitness = fit_iter.next().expect("arity checked above");
                     self.evaluations += 1;
                 }
                 match &self.best {
@@ -177,7 +215,11 @@ impl GaState {
                 }
             }
         }
-        // Breed.
+    }
+
+    /// Breed the next population island by island: elitism, neighborhood
+    /// parent selection, crossover-or-clone, mutation, frozen-gene pinning.
+    fn breed(&mut self) {
         let cfg = self.cfg;
         let frozen = self.frozen.clone();
         for isl in &mut self.islands {
@@ -209,25 +251,6 @@ impl GaState {
                 next.push(child);
             }
             isl.pop = next;
-        }
-        // Evaluate the new generation immediately so callers observe a
-        // consistent population after each step.
-        for isl in &mut self.islands {
-            for ind in &mut isl.pop {
-                if !ind.fitness.is_finite() {
-                    ind.fitness = eval(&ind.genes);
-                    self.evaluations += 1;
-                }
-                match &self.best {
-                    Some(b) if b.fitness >= ind.fitness => {}
-                    _ => self.best = Some(ind.clone()),
-                }
-            }
-        }
-        self.generation += 1;
-        // Migrate best individuals around the single ring.
-        if self.cfg.n_islands > 1 && self.generation % self.cfg.migration_interval == 0 {
-            self.migrate();
         }
     }
 
@@ -267,12 +290,7 @@ impl GaState {
 /// (±1, ±2), per §IV-E: higher fitness means higher selection chance.
 fn select_parents(pop: &[Individual], slot: usize, rng: &mut impl Rng) -> (usize, usize) {
     let n = pop.len();
-    let hood = [
-        (slot + n - 2) % n,
-        (slot + n - 1) % n,
-        (slot + 1) % n,
-        (slot + 2) % n,
-    ];
+    let hood = [(slot + n - 2) % n, (slot + n - 1) % n, (slot + 1) % n, (slot + 2) % n];
     let pick = |rng: &mut dyn rand::RngCore, exclude: Option<usize>| -> usize {
         // Weights shifted to be positive; NEG_INFINITY (unevaluated or
         // infeasible) gets epsilon weight.
@@ -309,99 +327,118 @@ fn select_parents(pop: &[Individual], slot: usize, rng: &mut impl Rng) -> (usize
     (a, b)
 }
 
-/// The parallel driver: one OS thread per island, ring migration over
-/// channels — the analogue of the paper's MPI deployment.
+/// Fan a batch of genomes across the persistent worker pool, preserving
+/// input order in the returned fitness vector. Spawning OS threads per
+/// generation would cost more than a generation's worth of fitness calls;
+/// the pool amortizes that, and nested calls from inside a pool worker
+/// degrade to a serial loop so outer parallelism never multiplies.
+fn eval_batch_threads<F: Fn(&[u32]) -> f64 + Sync>(eval: &F, batch: &[Vec<u32>]) -> Vec<f64> {
+    batch.par_iter().map(|g| eval(g)).collect()
+}
+
+/// The parallel driver: islands advance in deterministic lockstep while
+/// each generation's pending individuals are evaluated concurrently — the
+/// analogue of the paper's MPI deployment, but with results that are
+/// bit-identical to a serial run of the same seed (breeding, migration
+/// and best-tracking consume fitnesses in canonical island-major order
+/// regardless of which worker thread produced them).
 #[derive(Debug, Clone)]
 pub struct IslandGa {
     genome: Genome,
     cfg: GaConfig,
+    seeds: Vec<Vec<u32>>,
+    frozen: Vec<(usize, u32)>,
 }
 
 impl IslandGa {
     /// Build a parallel island GA.
     pub fn new(genome: Genome, cfg: GaConfig) -> Self {
-        IslandGa { genome, cfg }
+        IslandGa { genome, cfg, seeds: Vec::new(), frozen: Vec::new() }
     }
 
-    /// Run `generations` generations with one thread per island. `eval`
-    /// must be cheap enough to call concurrently; migration happens every
-    /// `migration_interval` generations through bounded channels.
+    /// Seed the initial population with known genomes (round-robin across
+    /// islands, applied before the first generation).
+    pub fn with_seeds(mut self, seeds: &[Vec<u32>]) -> Self {
+        self.seeds = seeds.to_vec();
+        self
+    }
+
+    /// Pin genes to fixed values for the whole run (csTuner's per-group
+    /// refinement: search one parameter group while the rest stay fixed).
+    pub fn with_frozen(mut self, frozen: &[(usize, u32)]) -> Self {
+        self.frozen = frozen.to_vec();
+        self
+    }
+
+    fn build_state(&self, seed: u64) -> GaState {
+        let mut state = GaState::new(self.genome.clone(), self.cfg, seed);
+        if !self.seeds.is_empty() {
+            state.seed_with(&self.seeds);
+        }
+        for &(d, v) in &self.frozen {
+            state.freeze(d, v);
+        }
+        state
+    }
+
+    /// Run `generations` generations, driving every evaluation phase
+    /// through `eval_batch` (which may fan out; the returned vector must
+    /// line up with the input batch).
+    pub fn run_batched(
+        &self,
+        generations: u32,
+        seed: u64,
+        eval_batch: &mut impl FnMut(&[Vec<u32>]) -> Vec<f64>,
+    ) -> GaSummary {
+        let mut state = self.build_state(seed);
+        for _ in 0..generations {
+            state.step_batched(eval_batch);
+        }
+        GaSummary {
+            best: state.best().cloned().expect("ran at least one generation"),
+            generations,
+            evaluations: state.evaluations(),
+        }
+    }
+
+    /// Run with each generation's population evaluated concurrently on
+    /// the persistent worker pool. `eval` must be pure per call (same
+    /// genes ⇒ same fitness) for the run to stay deterministic; results
+    /// are then identical to [`IslandGa::run_serial`].
     pub fn run_parallel<F>(&self, generations: u32, seed: u64, eval: F) -> GaSummary
     where
         F: Fn(&[u32]) -> f64 + Sync,
     {
-        let n = self.cfg.n_islands;
-        let mut seeder = StdRng::seed_from_u64(seed);
-        let seeds: Vec<u64> = (0..n).map(|_| seeder.gen()).collect();
-        // Ring channels: island k sends to k+1 and receives from k-1.
-        let mut senders = Vec::with_capacity(n);
-        let mut receivers = Vec::with_capacity(n);
-        for _ in 0..n {
-            let (tx, rx) = crossbeam::channel::bounded::<Individual>(generations as usize + 1);
-            senders.push(tx);
-            receivers.push(rx);
-        }
-        // Channel i is written by island i-1 (its sender is handed to that
-        // island below), so island k simply receives from channel k.
-        let rx_rot = receivers;
-        let eval_ref = &eval;
-        let genome = &self.genome;
-        let cfg = self.cfg;
-        let results: Vec<(Individual, u64)> = crossbeam::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for k in 0..n {
-                let tx = senders[(k + 1) % n].clone();
-                let rx = rx_rot[k].clone();
-                let island_seed = seeds[k];
-                handles.push(scope.spawn(move |_| {
-                    let single = GaConfig { n_islands: 1, ..cfg };
-                    let mut state = GaState::new(genome.clone(), single, island_seed);
-                    let mut evals = 0u64;
-                    let mut f = |g: &[u32]| {
-                        evals += 1;
-                        eval_ref(g)
-                    };
-                    for gen in 1..=generations {
-                        state.step(&mut f);
-                        if gen % cfg.migration_interval == 0 {
-                            if let Some(best) = state.best().cloned() {
-                                let _ = tx.try_send(best);
-                            }
-                            // Absorb any immigrant that has arrived.
-                            while let Ok(im) = rx.try_recv() {
-                                let isl = &mut state.islands[0];
-                                if let Some((wi, _)) = isl
-                                    .pop
-                                    .iter()
-                                    .enumerate()
-                                    .min_by(|(_, a), (_, b)| a.fitness.partial_cmp(&b.fitness).unwrap())
-                                {
-                                    if isl.pop[wi].fitness < im.fitness {
-                                        isl.pop[wi] = im;
-                                    }
-                                }
-                            }
-                        }
-                    }
-                    (state.best().cloned().expect("ran at least one generation"), evals)
-                }));
-            }
-            handles.into_iter().map(|h| h.join().expect("island thread panicked")).collect()
-        })
-        .expect("GA scope panicked");
-        let evaluations = results.iter().map(|(_, e)| e).sum();
-        let best = results
-            .into_iter()
-            .map(|(b, _)| b)
-            .max_by(|a, b| a.fitness.partial_cmp(&b.fitness).unwrap())
-            .expect("at least one island");
-        GaSummary { best, generations, evaluations }
+        self.run_batched(generations, seed, &mut |batch| eval_batch_threads(&eval, batch))
+    }
+
+    /// Serial reference driver: same trajectory as
+    /// [`IslandGa::run_parallel`], one evaluation at a time.
+    pub fn run_serial<F>(&self, generations: u32, seed: u64, eval: F) -> GaSummary
+    where
+        F: Fn(&[u32]) -> f64,
+    {
+        self.run_batched(generations, seed, &mut |batch| batch.iter().map(|g| eval(g)).collect())
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Force a multi-lane worker pool even on single-CPU hosts, so the
+    /// parallel-driver tests exercise real cross-thread evaluation rather
+    /// than the pool's serial fast path. Must run before the pool's first
+    /// use anywhere in this test binary (the lane count is locked then).
+    fn force_parallel_lanes() {
+        static ONCE: std::sync::Once = std::sync::Once::new();
+        ONCE.call_once(|| {
+            if std::env::var_os("RAYON_NUM_THREADS").is_none() {
+                std::env::set_var("RAYON_NUM_THREADS", "3");
+            }
+            let _ = rayon::current_num_threads();
+        });
+    }
 
     /// A deceptive multimodal fitness over 6 genes of cardinality 16:
     /// global optimum at all-12, local traps at all-3.
@@ -431,7 +468,7 @@ mod tests {
 
     #[test]
     fn finds_global_optimum_on_easy_problem() {
-        let mut state = GaState::new(genome(), GaConfig::default(), 3);
+        let mut state = GaState::new(genome(), GaConfig::default(), 7);
         let mut eval = |g: &[u32]| -(g.iter().map(|&v| (v as f64 - 7.0).powi(2)).sum::<f64>());
         for _ in 0..60 {
             state.step(&mut eval);
@@ -486,6 +523,24 @@ mod tests {
     }
 
     #[test]
+    fn step_batched_matches_serial_step() {
+        let mut serial = GaState::new(genome(), GaConfig::default(), 19);
+        let mut batched = serial.clone();
+        let mut eval = |g: &[u32]| fitness(g);
+        let mut eval_batch =
+            |batch: &[Vec<u32>]| batch.iter().map(|g| fitness(g)).collect::<Vec<_>>();
+        for _ in 0..12 {
+            serial.step(&mut eval);
+            batched.step_batched(&mut eval_batch);
+            assert_eq!(serial.best(), batched.best());
+            assert_eq!(serial.evaluations(), batched.evaluations());
+            let a: Vec<_> = serial.population().cloned().collect();
+            let b: Vec<_> = batched.population().cloned().collect();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
     fn migration_spreads_good_genes() {
         // With migration the second island benefits from the first's
         // discoveries; verify runs with migration at least match isolated
@@ -509,11 +564,40 @@ mod tests {
 
     #[test]
     fn parallel_driver_matches_quality() {
+        force_parallel_lanes();
         let ga = IslandGa::new(genome(), GaConfig::default());
         let summary = ga.run_parallel(40, 13, fitness);
         assert!(summary.best.fitness > -6.0, "fitness {}", summary.best.fitness);
         assert!(summary.evaluations > 0);
         assert_eq!(summary.generations, 40);
+    }
+
+    #[test]
+    fn parallel_driver_is_bit_identical_to_serial() {
+        force_parallel_lanes();
+        let ga = IslandGa::new(genome(), GaConfig::default());
+        for seed in [13, 99] {
+            let par = ga.run_parallel(25, seed, fitness);
+            let ser = ga.run_serial(25, seed, fitness);
+            assert_eq!(par, ser);
+        }
+    }
+
+    #[test]
+    fn seeded_and_frozen_runs_honor_their_constraints() {
+        let optimum = vec![12u32; 6];
+        let ga =
+            IslandGa::new(genome(), GaConfig::default()).with_seeds(std::slice::from_ref(&optimum));
+        let summary = ga.run_serial(5, 31, fitness);
+        assert_eq!(summary.best.genes, optimum);
+
+        let ga = IslandGa::new(genome(), GaConfig::default()).with_frozen(&[(0, 4), (3, 9)]);
+        let mut state = ga.build_state(31);
+        for _ in 0..6 {
+            state.step(&mut |g: &[u32]| fitness(g));
+            assert!(state.population().all(|ind| ind.genes[0] == 4 && ind.genes[3] == 9));
+        }
+        assert_eq!(ga.run_serial(6, 31, fitness).best.genes[0], 4);
     }
 
     #[test]
@@ -541,7 +625,7 @@ mod tests {
     fn seeded_individuals_enter_the_population() {
         let mut state = GaState::new(genome(), GaConfig::default(), 29);
         let seed_genes = vec![12u32; 6]; // the global optimum
-        state.seed_with(&[seed_genes.clone()]);
+        state.seed_with(std::slice::from_ref(&seed_genes));
         let mut eval = |g: &[u32]| fitness(g);
         state.step(&mut eval);
         // Elitism keeps the seeded optimum forever.
@@ -554,7 +638,7 @@ mod tests {
         // Half the space returns NEG_INFINITY; the GA must still improve.
         let mut state = GaState::new(genome(), GaConfig::default(), 17);
         let mut eval = |g: &[u32]| {
-            if g[0] % 2 == 0 {
+            if g[0].is_multiple_of(2) {
                 f64::NEG_INFINITY
             } else {
                 fitness(g)

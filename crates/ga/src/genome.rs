@@ -36,7 +36,8 @@ impl Genome {
     pub fn new(cards: Vec<u32>) -> Self {
         assert!(!cards.is_empty(), "a genome needs at least one gene");
         assert!(cards.iter().all(|&c| c > 0), "gene cardinality must be positive");
-        let bits = cards.iter().map(|&c| 32 - (c - 1).leading_zeros().min(31)).map(|b| b.max(1)).collect();
+        let bits =
+            cards.iter().map(|&c| 32 - (c - 1).leading_zeros().min(31)).map(|b| b.max(1)).collect();
         Genome { cards, bits }
     }
 

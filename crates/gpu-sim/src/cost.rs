@@ -55,7 +55,12 @@ fn fnv(bytes: &[u8]) -> u64 {
 /// validity layer excludes both classes up front (§IV-B "non-spilled
 /// parameter settings"), but baselines without that layer will see the
 /// penalty.
-pub fn kernel_cost(spec: &StencilSpec, arch: &GpuArch, s: &Setting, mp: &ModelParams) -> CostBreakdown {
+pub fn kernel_cost(
+    spec: &StencilSpec,
+    arch: &GpuArch,
+    s: &Setting,
+    mp: &ModelParams,
+) -> CostBreakdown {
     let f = footprint(spec, arch, s, mp);
     kernel_cost_from_footprint(spec, arch, s, &f, mp)
 }
@@ -101,9 +106,8 @@ pub fn kernel_cost_from_footprint(
     // warp keeps more bytes in flight, so the bus saturates at lower
     // occupancy — the two penalties are sub-multiplicative.
     let occ_mem = (f.occupancy / f.gld_eff.max(0.25)).min(1.0);
-    let mem_eff = occ_factor(occ_mem, cst_stencil::StencilClass::MemoryBound, mp)
-        * f.tail_eff
-        * sm_util;
+    let mem_eff =
+        occ_factor(occ_mem, cst_stencil::StencilClass::MemoryBound, mp) * f.tail_eff * sm_util;
     let memory_ms = f.dram_bytes / (arch.dram_gbps * 1e6) / mem_eff.max(1e-3);
 
     // --- Synchronization -------------------------------------------------------
@@ -117,7 +121,8 @@ pub fn kernel_cost_from_footprint(
         sync_ms = f.waves.max(1.0) * f.stream_steps as f64 * barrier_cost * hidden / 1000.0;
     }
 
-    let (hi, lo) = if compute_ms >= memory_ms { (compute_ms, memory_ms) } else { (memory_ms, compute_ms) };
+    let (hi, lo) =
+        if compute_ms >= memory_ms { (compute_ms, memory_ms) } else { (memory_ms, compute_ms) };
     let mut total = hi + (1.0 - mp.overlap) * lo + sync_ms + launch_ms;
     total *= 1.0 + mp.ruggedness * perturbation(spec, arch, s);
     CostBreakdown { compute_ms, memory_ms, sync_ms, launch_ms, total_ms: total }
@@ -129,10 +134,17 @@ pub fn kernel_cost_from_footprint(
 /// are pre-generated and batch-compiled so the online search is dominated
 /// by launching and timing; the residual build share still grows with
 /// generated code size (unrolled/merged bodies are bigger).
-pub fn eval_cost_s(spec: &StencilSpec, arch: &GpuArch, s: &Setting, kernel_ms: f64, mp: &ModelParams) -> f64 {
+pub fn eval_cost_s(
+    spec: &StencilSpec,
+    arch: &GpuArch,
+    s: &Setting,
+    kernel_ms: f64,
+    mp: &ModelParams,
+) -> f64 {
     let uf: u64 = s.uf().iter().map(|&v| v as u64).product();
     let body = s.bm().iter().chain(s.cm().iter()).map(|&v| v as u64).product::<u64>();
-    let complexity = spec.flops as f64 / 10.0 * (1.0 + (uf.min(64) as f64).log2() + 0.5 * (body.min(64) as f64).log2());
+    let complexity = spec.flops as f64 / 10.0
+        * (1.0 + (uf.min(64) as f64).log2() + 0.5 * (body.min(64) as f64).log2());
     let compile = arch.compile_base_s * (1.0 + mp.compile_per_complexity * complexity);
     let runs = if kernel_ms.is_finite() {
         mp.runs_per_eval as f64 * kernel_ms.min(mp.run_timeout_ms) / 1000.0
@@ -260,7 +272,13 @@ mod tests {
         let arch = GpuArch::a100();
         let mp = ModelParams::default();
         let e0 = eval_cost_s(&spec, &arch, &Setting::baseline(), 5.0, &mp);
-        let e1 = eval_cost_s(&spec, &arch, &Setting::baseline().with(ParamId::UFx, 16).with(ParamId::BMx, 16), 5.0, &mp);
+        let e1 = eval_cost_s(
+            &spec,
+            &arch,
+            &Setting::baseline().with(ParamId::UFx, 16).with(ParamId::BMx, 16),
+            5.0,
+            &mp,
+        );
         assert!(e1 > e0);
         assert!(e0 > arch.compile_base_s, "compile dominates");
     }

@@ -224,9 +224,7 @@ pub fn footprint(spec: &StencilSpec, arch: &GpuArch, s: &Setting, mp: &ModelPara
 
     // --- Occupancy ------------------------------------------------------------
     let regs_granular = ((regs / 8.0).ceil() * 8.0).max(16.0);
-    let mut tb_per_sm = arch
-        .max_tb_per_sm
-        .min(arch.max_threads_per_sm / tb_size.max(1));
+    let mut tb_per_sm = arch.max_tb_per_sm.min(arch.max_threads_per_sm / tb_size.max(1));
     let regs_per_tb = regs_granular.min(arch.max_regs_per_thread as f64) * tb_size as f64;
     tb_per_sm = tb_per_sm.min((arch.regs_per_sm as f64 / regs_per_tb.max(1.0)) as u32);
     if shmem_per_tb > 0 {
@@ -304,8 +302,7 @@ pub fn footprint(spec: &StencilSpec, arch: &GpuArch, s: &Setting, mp: &ModelPara
     // is mild — most of the penalty is latency/issue pressure, which the
     // cost model applies through the saturation coupling.
     let byte_eff = 0.5 + 0.5 * gld_eff;
-    let mut dram_bytes =
-        pts * 8.0 * (reads_eff / byte_eff + spec.write_arrays as f64 / byte_eff);
+    let mut dram_bytes = pts * 8.0 * (reads_eff / byte_eff + spec.write_arrays as f64 / byte_eff);
     if spilled {
         let excess = regs - arch.max_regs_per_thread as f64;
         dram_bytes += pts * 8.0 * (mp.spill_bytes_per_reg * excess).min(24.0);
@@ -368,7 +365,8 @@ mod tests {
     #[test]
     fn baseline_launches_everywhere() {
         for k in suite::all_kernels() {
-            let f = footprint(&k.spec, &GpuArch::a100(), &Setting::baseline(), &ModelParams::default());
+            let f =
+                footprint(&k.spec, &GpuArch::a100(), &Setting::baseline(), &ModelParams::default());
             assert!(!f.spilled, "{} spilled at baseline", k.spec.name);
             assert!(f.tb_per_sm > 0, "{} unlaunchable at baseline", k.spec.name);
             assert!(f.occupancy > 0.2, "{} occupancy {}", k.spec.name, f.occupancy);
@@ -497,7 +495,10 @@ mod tests {
     #[test]
     fn unrolling_raises_ilp_with_diminishing_returns() {
         let f1 = fp("j3d27pt", &Setting::baseline());
-        let f4 = fp("j3d27pt", &Setting::baseline().with(ParamId::UFx, 4).with(ParamId::BMx, 4).with(ParamId::TBx, 32));
+        let f4 = fp(
+            "j3d27pt",
+            &Setting::baseline().with(ParamId::UFx, 4).with(ParamId::BMx, 4).with(ParamId::TBx, 32),
+        );
         assert!(f4.ilp > f1.ilp);
         assert!(f4.ilp < 1.5);
     }

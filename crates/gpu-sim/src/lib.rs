@@ -27,6 +27,7 @@ pub mod arch;
 pub mod clock;
 pub mod cost;
 pub mod footprint;
+pub mod memo;
 pub mod metrics;
 pub mod sim;
 pub mod valid;
@@ -35,6 +36,7 @@ pub use arch::GpuArch;
 pub use clock::VirtualClock;
 pub use cost::CostBreakdown;
 pub use footprint::{Footprint, ModelParams};
+pub use memo::{EvalRecord, SimMemo};
 pub use metrics::{MetricsReport, METRIC_NAMES, N_METRICS};
-pub use sim::GpuSim;
+pub use sim::{noisy_measurement, GpuSim};
 pub use valid::{Invalid, ValidSpace};

@@ -1,0 +1,188 @@
+//! Shared memoization of the analytical model's per-setting outputs.
+//!
+//! The evaluation hot path historically recomputed the footprint three
+//! times per fresh candidate (`is_valid` → `measure` → `eval_cost_s`).
+//! [`SimMemo`] computes everything once per distinct [`Setting`] and
+//! shares the record across clones of a [`crate::GpuSim`] and across
+//! evaluation threads — the in-silico analogue of csTuner's
+//! avoid-recompiling-seen-configurations convention.
+
+use crate::cost::CostBreakdown;
+use crate::footprint::Footprint;
+use cst_space::Setting;
+use std::collections::HashMap;
+use std::sync::{Arc, RwLock};
+
+/// Everything the tuner needs about one setting, computed once: the
+/// resource footprint, the full cost breakdown (whose `total_ms` is the
+/// modeled kernel time) and the virtual-clock charge in seconds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvalRecord {
+    /// Resource footprint (registers, shared memory, occupancy, traffic).
+    pub footprint: Footprint,
+    /// Cost breakdown; `cost.total_ms` is the modeled kernel time.
+    pub cost: CostBreakdown,
+    /// Wall-clock seconds charged to the tuning clock per evaluation.
+    pub cost_s: f64,
+}
+
+impl EvalRecord {
+    /// Modeled kernel time in milliseconds.
+    pub fn time_ms(&self) -> f64 {
+        self.cost.total_ms
+    }
+
+    /// Whether the setting launches without spilling registers or
+    /// overflowing shared memory.
+    pub fn resource_ok(&self) -> bool {
+        !self.footprint.spilled && !self.footprint.shmem_overflow && self.footprint.tb_per_sm > 0
+    }
+}
+
+const N_SHARDS: usize = 16;
+
+/// Sharded concurrent `Setting → EvalRecord` cache. Reads take a shard
+/// read lock; a miss computes outside any lock and inserts under the
+/// shard write lock, so concurrent evaluators never serialize on the
+/// model itself.
+pub struct SimMemo {
+    shards: [RwLock<HashMap<Setting, Arc<EvalRecord>>>; N_SHARDS],
+}
+
+impl Default for SimMemo {
+    fn default() -> Self {
+        SimMemo { shards: std::array::from_fn(|_| RwLock::new(HashMap::new())) }
+    }
+}
+
+impl std::fmt::Debug for SimMemo {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimMemo").field("entries", &self.len()).finish()
+    }
+}
+
+/// FNV-1a over the setting's values; `Setting` is a small fixed array so
+/// this beats the default SipHash for shard selection.
+fn shard_index(s: &Setting) -> usize {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &v in &s.0 {
+        h ^= v as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (h >> 32) as usize % N_SHARDS
+}
+
+impl SimMemo {
+    /// Empty memo.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Cached record, if present.
+    pub fn get(&self, s: &Setting) -> Option<Arc<EvalRecord>> {
+        self.shards[shard_index(s)].read().unwrap().get(s).cloned()
+    }
+
+    /// Cached record, computing and inserting via `compute` on a miss.
+    /// `compute` runs outside the lock; if two threads race on the same
+    /// setting the first insert wins (the model is deterministic, so both
+    /// candidates are identical anyway).
+    pub fn get_or_insert_with(
+        &self,
+        s: &Setting,
+        compute: impl FnOnce() -> EvalRecord,
+    ) -> Arc<EvalRecord> {
+        let shard = &self.shards[shard_index(s)];
+        if let Some(r) = shard.read().unwrap().get(s) {
+            return r.clone();
+        }
+        let fresh = Arc::new(compute());
+        let mut w = shard.write().unwrap();
+        w.entry(*s).or_insert(fresh).clone()
+    }
+
+    /// Number of memoized settings.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().unwrap().len()).sum()
+    }
+
+    /// Whether no setting is memoized yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop every cached record.
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.write().unwrap().clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy_record(t: f64) -> EvalRecord {
+        let spec = cst_stencil::spec_by_name("j3d7pt").unwrap();
+        let arch = crate::arch::GpuArch::a100();
+        let mp = crate::footprint::ModelParams::default();
+        let s = Setting::baseline();
+        let footprint = crate::footprint::footprint(&spec, &arch, &s, &mp);
+        let mut cost = crate::cost::kernel_cost_from_footprint(&spec, &arch, &s, &footprint, &mp);
+        cost.total_ms = t;
+        EvalRecord { footprint, cost, cost_s: t / 1000.0 }
+    }
+
+    #[test]
+    fn get_or_insert_computes_once() {
+        let memo = SimMemo::new();
+        let s = Setting::baseline();
+        let mut calls = 0;
+        let a = memo.get_or_insert_with(&s, || {
+            calls += 1;
+            dummy_record(2.0)
+        });
+        let b = memo.get_or_insert_with(&s, || {
+            calls += 1;
+            dummy_record(99.0)
+        });
+        assert_eq!(calls, 1);
+        assert_eq!(a.time_ms(), 2.0);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(memo.len(), 1);
+    }
+
+    #[test]
+    fn clear_empties_every_shard() {
+        let memo = SimMemo::new();
+        // Distinct settings spread across shards.
+        for v in 1..=32u32 {
+            let mut s = Setting::baseline();
+            s.0[0] = v;
+            memo.get_or_insert_with(&s, || dummy_record(v as f64));
+        }
+        assert_eq!(memo.len(), 32);
+        memo.clear();
+        assert!(memo.is_empty());
+    }
+
+    #[test]
+    fn concurrent_access_is_consistent() {
+        let memo = Arc::new(SimMemo::new());
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let memo = Arc::clone(&memo);
+                scope.spawn(move || {
+                    for v in 0..64u32 {
+                        let mut s = Setting::baseline();
+                        s.0[0] = v % 8;
+                        let r = memo.get_or_insert_with(&s, || dummy_record((v % 8) as f64));
+                        assert_eq!(r.time_ms(), (v % 8) as f64);
+                    }
+                });
+            }
+        });
+        assert_eq!(memo.len(), 8);
+    }
+}

@@ -54,7 +54,12 @@ impl MetricsReport {
 }
 
 /// Synthesize the metric vector for a profiled setting.
-pub fn synthesize(spec: &StencilSpec, arch: &GpuArch, f: &Footprint, c: &CostBreakdown) -> MetricsReport {
+pub fn synthesize(
+    spec: &StencilSpec,
+    arch: &GpuArch,
+    f: &Footprint,
+    c: &CostBreakdown,
+) -> MetricsReport {
     let t = c.total_ms.max(1e-6);
     let pts = spec.total_points() as f64;
     let unlaunchable = !c.total_ms.is_finite();
@@ -71,9 +76,12 @@ pub fn synthesize(spec: &StencilSpec, arch: &GpuArch, f: &Footprint, c: &CostBre
         // L1 captures the register/shared-adjacent reuse; L2 the rest.
         v[2] = 100.0 * (0.25 + 0.65 * f.cache_capture).min(0.99);
         v[3] = 100.0 * (0.15 + 0.55 * f.cache_capture).min(0.95);
-        v[4] = f.dram_bytes * (f.reads_eff * 8.0 / (f.reads_eff * 8.0 + spec.write_arrays as f64 * 8.0))
+        v[4] = f.dram_bytes
+            * (f.reads_eff * 8.0 / (f.reads_eff * 8.0 + spec.write_arrays as f64 * 8.0))
             / (t * 1e6);
-        v[5] = f.dram_bytes * (spec.write_arrays as f64 * 8.0 / (f.reads_eff * 8.0 + spec.write_arrays as f64 * 8.0))
+        v[5] = f.dram_bytes
+            * (spec.write_arrays as f64 * 8.0
+                / (f.reads_eff * 8.0 + spec.write_arrays as f64 * 8.0))
             / (t * 1e6);
         v[6] = 100.0 * f.gld_eff;
         v[7] = 100.0 * f.gst_eff;
@@ -151,7 +159,10 @@ mod tests {
         let low = Setting::baseline().with(ParamId::BMy, 64); // heavy registers
         let r_base = report("rhs4center", &Setting::baseline());
         let r_low = report("rhs4center", &low);
-        assert!(r_low.get("launch__registers_per_thread.count") > r_base.get("launch__registers_per_thread.count"));
+        assert!(
+            r_low.get("launch__registers_per_thread.count")
+                > r_base.get("launch__registers_per_thread.count")
+        );
     }
 
     #[test]
@@ -165,7 +176,8 @@ mod tests {
     #[test]
     fn dram_throughput_bounded_by_hardware() {
         let r = report("j3d7pt", &Setting::baseline());
-        let total = r.get("dram__read_throughput.gbps").unwrap() + r.get("dram__write_throughput.gbps").unwrap();
+        let total = r.get("dram__read_throughput.gbps").unwrap()
+            + r.get("dram__write_throughput.gbps").unwrap();
         // Modeled traffic over modeled time can't exceed ~2× of spec
         // (waste bytes count against the same wall clock).
         assert!(total < 2.0 * GpuArch::a100().dram_gbps, "total = {total}");

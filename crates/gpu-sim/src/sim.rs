@@ -3,10 +3,12 @@
 use crate::arch::GpuArch;
 use crate::cost::{eval_cost_s, kernel_cost_from_footprint, CostBreakdown};
 use crate::footprint::{footprint, Footprint, ModelParams};
+use crate::memo::{EvalRecord, SimMemo};
 use crate::metrics::{synthesize, MetricsReport};
 use cst_space::Setting;
 use cst_stencil::StencilSpec;
 use rand::Rng;
+use std::sync::Arc;
 
 /// The GPU performance model for one (stencil, architecture) pair: the
 /// stand-in for compiling, launching and profiling kernels on the paper's
@@ -29,18 +31,59 @@ pub struct GpuSim {
     spec: StencilSpec,
     arch: GpuArch,
     params: ModelParams,
+    /// Shared per-setting cache of footprint/cost/eval-cost; `None`
+    /// disables memoization (benchmarking the uncached path). Clones of a
+    /// `GpuSim` share the cache, so the validity check, the measurement
+    /// and the clock charge for one candidate all hit the same record.
+    memo: Option<Arc<SimMemo>>,
+}
+
+/// Memoization defaults on; `CST_NO_MEMO=1` disables it process-wide so
+/// benchmarks can A/B the uncached path without code changes.
+fn memo_enabled() -> bool {
+    std::env::var("CST_NO_MEMO").map(|v| v != "1").unwrap_or(true)
 }
 
 impl GpuSim {
     /// Build a simulator with default model constants.
     pub fn new(spec: StencilSpec, arch: GpuArch) -> Self {
-        GpuSim { spec, arch, params: ModelParams::default() }
+        Self::with_params(spec, arch, ModelParams::default())
     }
 
     /// Build with custom model constants (used by calibration tests and
     /// ablations).
     pub fn with_params(spec: StencilSpec, arch: GpuArch, params: ModelParams) -> Self {
-        GpuSim { spec, arch, params }
+        let memo = memo_enabled().then(|| Arc::new(SimMemo::new()));
+        GpuSim { spec, arch, params, memo }
+    }
+
+    /// This simulator with memoization disabled (every call recomputes).
+    pub fn without_memo(mut self) -> Self {
+        self.memo = None;
+        self
+    }
+
+    /// Number of settings with cached model output.
+    pub fn memo_len(&self) -> usize {
+        self.memo.as_ref().map_or(0, |m| m.len())
+    }
+
+    fn compute_record(&self, s: &Setting) -> EvalRecord {
+        let f = footprint(&self.spec, &self.arch, s, &self.params);
+        let cost = kernel_cost_from_footprint(&self.spec, &self.arch, s, &f, &self.params);
+        let cost_s = eval_cost_s(&self.spec, &self.arch, s, cost.total_ms, &self.params);
+        EvalRecord { footprint: f, cost, cost_s }
+    }
+
+    /// Everything the tuner needs about `s` — footprint, cost breakdown,
+    /// virtual-clock charge — computed once and cached. This is the single
+    /// entry point the evaluation hot path goes through; `footprint`,
+    /// `kernel_time_ms`, `eval_cost_s` etc. are views onto the record.
+    pub fn evaluate_full(&self, s: &Setting) -> Arc<EvalRecord> {
+        match &self.memo {
+            Some(memo) => memo.get_or_insert_with(s, || self.compute_record(s)),
+            None => Arc::new(self.compute_record(s)),
+        }
     }
 
     /// The stencil under test.
@@ -60,53 +103,59 @@ impl GpuSim {
 
     /// Resource footprint of a setting.
     pub fn footprint(&self, s: &Setting) -> Footprint {
-        footprint(&self.spec, &self.arch, s, &self.params)
+        self.evaluate_full(s).footprint.clone()
     }
 
     /// Full cost breakdown of a setting.
     pub fn cost(&self, s: &Setting) -> CostBreakdown {
-        let f = self.footprint(s);
-        kernel_cost_from_footprint(&self.spec, &self.arch, s, &f, &self.params)
+        self.evaluate_full(s).cost
     }
 
     /// Modeled kernel time in milliseconds (deterministic; infinite when
     /// the setting cannot launch).
     pub fn kernel_time_ms(&self, s: &Setting) -> f64 {
-        self.cost(s).total_ms
+        self.evaluate_full(s).time_ms()
     }
 
     /// One "measured" run: the modeled time with multiplicative Gaussian
     /// measurement noise (~1σ = 1.5%), as timers on real hardware jitter.
     pub fn measure(&self, s: &Setting, rng: &mut impl Rng) -> f64 {
-        let t = self.kernel_time_ms(s);
-        if !t.is_finite() {
-            return t;
-        }
-        // Box–Muller from two uniforms; cheap and dependency-free.
-        let (u1, u2): (f64, f64) = (rng.gen_range(1e-12..1.0), rng.gen());
-        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
-        t * (1.0 + 0.015 * z).max(0.5)
+        noisy_measurement(self.kernel_time_ms(s), rng)
     }
+}
 
+/// Apply one draw of measurement noise to a modeled kernel time — the
+/// stochastic half of [`GpuSim::measure`], split out so batch evaluators
+/// can reuse a cached [`EvalRecord`]'s deterministic time while drawing
+/// noise in canonical commit order. Non-finite times consume no
+/// randomness and pass through unchanged.
+pub fn noisy_measurement(t: f64, rng: &mut impl Rng) -> f64 {
+    if !t.is_finite() {
+        return t;
+    }
+    // Box–Muller from two uniforms; cheap and dependency-free.
+    let (u1, u2): (f64, f64) = (rng.gen_range(1e-12..1.0), rng.gen());
+    let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+    t * (1.0 + 0.015 * z).max(0.5)
+}
+
+impl GpuSim {
     /// Profile a setting: kernel time plus the Nsight-style metric vector.
     pub fn profile(&self, s: &Setting) -> MetricsReport {
-        let f = self.footprint(s);
-        let c = kernel_cost_from_footprint(&self.spec, &self.arch, s, &f, &self.params);
-        synthesize(&self.spec, &self.arch, &f, &c)
+        let r = self.evaluate_full(s);
+        synthesize(&self.spec, &self.arch, &r.footprint, &r.cost)
     }
 
     /// Whether the setting launches without spilling registers or
     /// overflowing shared memory.
     pub fn resource_ok(&self, s: &Setting) -> bool {
-        let f = self.footprint(s);
-        !f.spilled && !f.shmem_overflow && f.tb_per_sm > 0
+        self.evaluate_full(s).resource_ok()
     }
 
     /// Wall-clock seconds charged to the virtual tuning clock for
     /// evaluating this setting (code generation + compile + timed runs).
     pub fn eval_cost_s(&self, s: &Setting) -> f64 {
-        let t = self.kernel_time_ms(s);
-        eval_cost_s(&self.spec, &self.arch, s, t, &self.params)
+        self.evaluate_full(s).cost_s
     }
 }
 
@@ -128,6 +177,42 @@ mod tests {
         let mean = runs.iter().sum::<f64>() / runs.len() as f64;
         assert!((mean / t - 1.0).abs() < 0.01, "mean {mean} vs model {t}");
         assert!(runs.iter().any(|&r| r != t), "noise must not be degenerate");
+    }
+
+    #[test]
+    fn memoized_results_match_uncached() {
+        let spec = suite::spec_by_name("j3d27pt").unwrap();
+        let cached = GpuSim::new(spec.clone(), GpuArch::a100());
+        let uncached = GpuSim::new(spec, GpuArch::a100()).without_memo();
+        let mut rng = StdRng::seed_from_u64(7);
+        let vs = crate::valid::ValidSpace::new(
+            cst_space::OptSpace::for_stencil(cached.spec()),
+            cached.clone(),
+        );
+        for _ in 0..50 {
+            let s = vs.random_valid(&mut rng);
+            // Query twice so the second pass exercises the cache hit.
+            for _ in 0..2 {
+                assert_eq!(cached.kernel_time_ms(&s), uncached.kernel_time_ms(&s));
+                assert_eq!(cached.eval_cost_s(&s), uncached.eval_cost_s(&s));
+                assert_eq!(cached.footprint(&s), uncached.footprint(&s));
+                assert_eq!(cached.resource_ok(&s), uncached.resource_ok(&s));
+            }
+        }
+        assert!(cached.memo_len() > 0);
+        assert_eq!(uncached.memo_len(), 0);
+    }
+
+    #[test]
+    fn clones_share_the_memo() {
+        let sim = GpuSim::new(suite::spec_by_name("j3d7pt").unwrap(), GpuArch::a100());
+        let clone = sim.clone();
+        let _ = sim.kernel_time_ms(&Setting::baseline());
+        assert_eq!(clone.memo_len(), 1, "clone must see the original's cache");
+        // The full hot-path triple for one candidate costs one record.
+        let _ = clone.resource_ok(&Setting::baseline());
+        let _ = clone.eval_cost_s(&Setting::baseline());
+        assert_eq!(sim.memo_len(), 1);
     }
 
     #[test]

@@ -28,8 +28,12 @@ impl std::fmt::Display for Invalid {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             Invalid::Explicit(v) => write!(f, "explicit constraint: {v}"),
-            Invalid::RegisterSpill { regs, limit } => write!(f, "register spill: {regs:.0} > {limit}"),
-            Invalid::SharedOverflow { bytes, limit } => write!(f, "shared overflow: {bytes} > {limit}"),
+            Invalid::RegisterSpill { regs, limit } => {
+                write!(f, "register spill: {regs:.0} > {limit}")
+            }
+            Invalid::SharedOverflow { bytes, limit } => {
+                write!(f, "shared overflow: {bytes} > {limit}")
+            }
             Invalid::Unlaunchable => write!(f, "no thread block fits on an SM"),
         }
     }

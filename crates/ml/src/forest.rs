@@ -62,12 +62,7 @@ impl RandomForest {
         for t in &self.trees {
             votes[t.predict(x)] += 1;
         }
-        votes
-            .iter()
-            .enumerate()
-            .max_by_key(|(_, &v)| v)
-            .map(|(k, _)| k)
-            .unwrap_or(0)
+        votes.iter().enumerate().max_by_key(|(_, &v)| v).map(|(k, _)| k).unwrap_or(0)
     }
 
     /// Per-class vote fractions.
@@ -153,8 +148,20 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let (xs, ys) = blob_data(&mut StdRng::seed_from_u64(6), 60);
-        let f1 = RandomForest::fit(&xs, &ys, 3, &RandomForestConfig::default(), &mut StdRng::seed_from_u64(7));
-        let f2 = RandomForest::fit(&xs, &ys, 3, &RandomForestConfig::default(), &mut StdRng::seed_from_u64(7));
+        let f1 = RandomForest::fit(
+            &xs,
+            &ys,
+            3,
+            &RandomForestConfig::default(),
+            &mut StdRng::seed_from_u64(7),
+        );
+        let f2 = RandomForest::fit(
+            &xs,
+            &ys,
+            3,
+            &RandomForestConfig::default(),
+            &mut StdRng::seed_from_u64(7),
+        );
         for x in &xs {
             assert_eq!(f1.predict(x), f2.predict(x));
         }

@@ -52,12 +52,7 @@ fn majority(ys: &[usize], idx: &[usize], n_classes: usize) -> usize {
     for &i in idx {
         counts[ys[i]] += 1;
     }
-    counts
-        .iter()
-        .enumerate()
-        .max_by_key(|(_, &c)| c)
-        .map(|(k, _)| k)
-        .unwrap_or(0)
+    counts.iter().enumerate().max_by_key(|(_, &c)| c).map(|(k, _)| k).unwrap_or(0)
 }
 
 fn build(
@@ -119,9 +114,10 @@ fn build(
             if ln == 0 || rn == 0 {
                 continue;
             }
-            let weighted = (ln as f64 * gini(&lc, ln) + rn as f64 * gini(&rc, rn)) / idx.len() as f64;
+            let weighted =
+                (ln as f64 * gini(&lc, ln) + rn as f64 * gini(&rc, rn)) / idx.len() as f64;
             let gain = parent_gini - weighted;
-            if best.map_or(true, |(_, _, g)| gain > g) {
+            if best.is_none_or(|(_, _, g)| gain > g) {
                 best = Some((f, thr, gain));
             }
         }
@@ -132,7 +128,8 @@ fn build(
     // Zero-gain splits are allowed on impure nodes (XOR-style targets have
     // no first split with positive Gini gain); both sides are non-empty so
     // recursion always terminates.
-    let (li, ri): (Vec<usize>, Vec<usize>) = idx.iter().partition(|&&i| xs[i][feature] <= threshold);
+    let (li, ri): (Vec<usize>, Vec<usize>) =
+        idx.iter().partition(|&&i| xs[i][feature] <= threshold);
     Node::Split {
         feature,
         threshold,
@@ -146,7 +143,13 @@ impl DecisionTree {
     ///
     /// # Panics
     /// Panics on empty/ragged data or out-of-range labels.
-    pub fn fit(xs: &[Vec<f64>], ys: &[usize], n_classes: usize, cfg: &TreeConfig, rng: &mut impl Rng) -> Self {
+    pub fn fit(
+        xs: &[Vec<f64>],
+        ys: &[usize],
+        n_classes: usize,
+        cfg: &TreeConfig,
+        rng: &mut impl Rng,
+    ) -> Self {
         assert!(!xs.is_empty() && xs.len() == ys.len(), "need paired samples");
         let n_features = xs[0].len();
         assert!(xs.iter().all(|x| x.len() == n_features), "ragged features");

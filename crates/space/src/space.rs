@@ -42,7 +42,9 @@ pub enum ConstraintViolation {
 impl std::fmt::Display for ConstraintViolation {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            ConstraintViolation::BlockTooLarge(n) => write!(f, "thread block of {n} threads exceeds 1024"),
+            ConstraintViolation::BlockTooLarge(n) => {
+                write!(f, "thread block of {n} threads exceeds 1024")
+            }
             ConstraintViolation::BlockSmallerThanWarp(n) => {
                 write!(f, "thread block of {n} threads is smaller than a warp")
             }
@@ -65,7 +67,9 @@ impl std::fmt::Display for ConstraintViolation {
             ConstraintViolation::ConflictingMerge(d) => {
                 write!(f, "block and cyclic merging both enabled along dimension {d}")
             }
-            ConstraintViolation::PrefetchWithoutStreaming => write!(f, "prefetching requires streaming"),
+            ConstraintViolation::PrefetchWithoutStreaming => {
+                write!(f, "prefetching requires streaming")
+            }
             ConstraintViolation::MergeExceedsExtent(d) => {
                 write!(f, "per-thread points exceed the grid extent along dimension {d}")
             }
@@ -243,7 +247,12 @@ impl OptSpace {
     /// explicitly valid when substituted into `base`, up to `limit`
     /// combinations (in lexicographic order of value indices). This is the
     /// per-group combination space of the iterative search (§IV-E).
-    pub fn enumerate_group(&self, base: &Setting, params: &[ParamId], limit: usize) -> Vec<Vec<u32>> {
+    pub fn enumerate_group(
+        &self,
+        base: &Setting,
+        params: &[ParamId],
+        limit: usize,
+    ) -> Vec<Vec<u32>> {
         let step_budget = limit.saturating_mul(64).max(200_000);
         let mut steps = 0usize;
         let mut out = Vec::new();
@@ -294,7 +303,12 @@ impl OptSpace {
     /// because `SD`/`SB` stay set — so a tuner enumerating strictly can
     /// never leave the base's streaming configuration. Canonicalization
     /// repairs the dependent parameters exactly as a code generator would.
-    pub fn enumerate_group_repaired(&self, base: &Setting, params: &[ParamId], limit: usize) -> Vec<Vec<u32>> {
+    pub fn enumerate_group_repaired(
+        &self,
+        base: &Setting,
+        params: &[ParamId],
+        limit: usize,
+    ) -> Vec<Vec<u32>> {
         // Hard step budget: a large group whose feasible combinations are
         // rare in lexicographic order must not turn enumeration into an
         // unbounded scan of the cartesian space.
@@ -392,7 +406,10 @@ mod tests {
     fn streaming_params_need_streaming() {
         let sp = space512();
         let s = Setting::baseline().with(ParamId::SB, 8);
-        assert_eq!(sp.check_explicit(&s), Err(ConstraintViolation::StreamingParamsWithoutStreaming));
+        assert_eq!(
+            sp.check_explicit(&s),
+            Err(ConstraintViolation::StreamingParamsWithoutStreaming)
+        );
     }
 
     #[test]

@@ -18,6 +18,8 @@ pub mod basic;
 pub mod matrix;
 pub mod pmnf;
 
-pub use basic::{coefficient_of_variation, mean, pearson, residual_standard_error, std_dev, variance};
+pub use basic::{
+    coefficient_of_variation, mean, pearson, residual_standard_error, std_dev, variance,
+};
 pub use matrix::{lstsq_ridge, Matrix};
 pub use pmnf::{fit_pmnf, PmnfCandidate, PmnfModel};

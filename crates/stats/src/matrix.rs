@@ -84,9 +84,7 @@ impl Matrix {
     /// Panics if `v.len() != cols`.
     pub fn mul_vec(&self, v: &[f64]) -> Vec<f64> {
         assert_eq!(v.len(), self.cols, "dimension mismatch");
-        (0..self.rows)
-            .map(|r| (0..self.cols).map(|c| self[(r, c)] * v[c]).sum())
-            .collect()
+        (0..self.rows).map(|r| (0..self.cols).map(|c| self[(r, c)] * v[c]).sum()).collect()
     }
 
     /// Solve `A x = b` in place by Gaussian elimination with partial

@@ -105,7 +105,7 @@ pub fn fit_pmnf(
             let y_hat = x.mul_vec(&coeffs);
             let rse = residual_standard_error(y, &y_hat, coeffs.len());
             let model = PmnfModel { candidate: cand, groups: groups.to_vec(), coeffs, rse };
-            if best.as_ref().map_or(true, |b| model.rse < b.rse) {
+            if best.as_ref().is_none_or(|b| model.rse < b.rse) {
                 best = Some(model);
             }
         }
@@ -167,10 +167,7 @@ mod tests {
     fn noisy_fit_still_selects_right_family() {
         let mut rng = StdRng::seed_from_u64(4);
         let xs = grid_samples(&mut rng, 120);
-        let y: Vec<f64> = xs
-            .iter()
-            .map(|x| 10.0 + 3.0 * x[0] + rng.gen_range(-0.5..0.5))
-            .collect();
+        let y: Vec<f64> = xs.iter().map(|x| 10.0 + 3.0 * x[0] + rng.gen_range(-0.5..0.5)).collect();
         let m = fit_pmnf(&xs, &y, &[vec![0], vec![1], vec![2]], &[0, 1, 2], &[0, 1]);
         // Prediction tracks the trend despite the noise.
         let lo = m.predict(&[1.0, 4.0, 4.0]);
@@ -190,13 +187,8 @@ mod tests {
 
     #[test]
     fn values_below_one_are_clamped_not_nan() {
-        let m = fit_pmnf(
-            &[vec![1.0], vec![2.0], vec![4.0]],
-            &[1.0, 2.0, 3.0],
-            &[vec![0]],
-            &[1],
-            &[0],
-        );
+        let m =
+            fit_pmnf(&[vec![1.0], vec![2.0], vec![4.0]], &[1.0, 2.0, 3.0], &[vec![0]], &[1], &[0]);
         assert!(m.predict(&[0.5]).is_finite());
     }
 

@@ -128,12 +128,7 @@ impl Stage {
 
     /// Largest tap radius used by this stage.
     pub fn radius(&self) -> u32 {
-        self.terms
-            .iter()
-            .flat_map(|t| t.factors.iter())
-            .map(Factor::radius)
-            .max()
-            .unwrap_or(0)
+        self.terms.iter().flat_map(|t| t.factors.iter()).map(Factor::radius).max().unwrap_or(0)
     }
 
     /// Evaluate the stage at one point given resolver access to arrays.
@@ -296,8 +291,11 @@ impl KernelDef {
                 }
                 for f in &t.factors {
                     if let Factor::Taps(_, s) = f {
-                        n += s.taps().iter().filter(|tp| tp.coeff != 1.0 && tp.coeff != -1.0).count()
-                            as u32;
+                        n += s
+                            .taps()
+                            .iter()
+                            .filter(|tp| tp.coeff != 1.0 && tp.coeff != -1.0)
+                            .count() as u32;
                     }
                 }
             }
@@ -320,7 +318,10 @@ mod tests {
             vec![
                 Stage::new(
                     ArrayRef::Temp(0),
-                    vec![Term::of(vec![Factor::Taps(ArrayRef::Input(0), TapStencil::star7(0.4, 0.1))])],
+                    vec![Term::of(vec![Factor::Taps(
+                        ArrayRef::Input(0),
+                        TapStencil::star7(0.4, 0.1),
+                    )])],
                 ),
                 Stage::new(
                     ArrayRef::Output(0),
@@ -362,11 +363,17 @@ mod tests {
             vec![
                 Stage::new(
                     ArrayRef::Temp(0),
-                    vec![Term::of(vec![Factor::Taps(ArrayRef::Input(0), TapStencil::star7(1.0, 0.5))])],
+                    vec![Term::of(vec![Factor::Taps(
+                        ArrayRef::Input(0),
+                        TapStencil::star7(1.0, 0.5),
+                    )])],
                 ),
                 Stage::new(
                     ArrayRef::Output(0),
-                    vec![Term::of(vec![Factor::Taps(ArrayRef::Temp(0), TapStencil::star7(1.0, 0.5))])],
+                    vec![Term::of(vec![Factor::Taps(
+                        ArrayRef::Temp(0),
+                        TapStencil::star7(1.0, 0.5),
+                    )])],
                 ),
             ],
         );
@@ -413,7 +420,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "cannot write inputs")]
     fn write_input_panics() {
-        let _ = Stage::new(ArrayRef::Input(0), vec![Term::of(vec![Factor::Point(ArrayRef::Input(0))])]);
+        let _ =
+            Stage::new(ArrayRef::Input(0), vec![Term::of(vec![Factor::Point(ArrayRef::Input(0))])]);
     }
 
     #[test]

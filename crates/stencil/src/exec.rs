@@ -74,7 +74,14 @@ fn stage_margins(def: &KernelDef) -> Vec<u32> {
         .collect()
 }
 
-fn run_stage_seq(stage: &Stage, margin: u32, inputs: &[Grid3], temps: &mut [Grid3], outputs: &mut [Grid3], dims: [usize; 3]) {
+fn run_stage_seq(
+    stage: &Stage,
+    margin: u32,
+    inputs: &[Grid3],
+    temps: &mut [Grid3],
+    outputs: &mut [Grid3],
+    dims: [usize; 3],
+) {
     let Some(b) = stage_bounds(margin, dims) else { return };
     // Compute into a scratch vector first so the arrays view stays immutable
     // during evaluation, then commit. The scratch is the destination-sized
@@ -190,7 +197,8 @@ fn merged_order(lo: usize, hi: usize, bm: usize, cm: usize) -> Vec<usize> {
     let cm_classes = cm.clamp(1, n);
     let stride = n.div_ceil(cm_classes);
     for start in 0..stride {
-        let class: Vec<usize> = (0..cm_classes).map(|k| start + k * stride).filter(|&i| i < n).collect();
+        let class: Vec<usize> =
+            (0..cm_classes).map(|k| start + k * stride).filter(|&i| i < n).collect();
         for chunk in class.chunks(bm.max(1)) {
             for &i in chunk {
                 order.push(lo + i);
@@ -214,7 +222,12 @@ fn merged_order(lo: usize, hi: usize, bm: usize, cm: usize) -> Vec<usize> {
 /// Run the kernel visiting points in the transformed order of `cfg`.
 /// Semantically identical to [`run_reference`]; used by the equivalence
 /// tests that justify exploring these transformations at tuning time.
-pub fn run_transformed(def: &KernelDef, inputs: &[Grid3], outputs: &mut [Grid3], cfg: &TransformCfg) {
+pub fn run_transformed(
+    def: &KernelDef,
+    inputs: &[Grid3],
+    outputs: &mut [Grid3],
+    cfg: &TransformCfg,
+) {
     check_arity(def, inputs, outputs);
     let dims = outputs[0].dims();
     let mut temps = alloc_temps(def, dims);
@@ -225,10 +238,12 @@ pub fn run_transformed(def: &KernelDef, inputs: &[Grid3], outputs: &mut [Grid3],
         let ys = merged_order(b[1].0, b[1].1, cfg.bm[1], cfg.cm[1]);
         let zs = merged_order(b[2].0, b[2].1, cfg.bm[2], cfg.cm[2]);
         // Streaming tiles the chosen dimension; tiles execute outermost.
-        let (stream_axis, tile) = if cfg.streaming { (cfg.sd, cfg.sb.max(1)) } else { (2, usize::MAX) };
+        let (stream_axis, tile) =
+            if cfg.streaming { (cfg.sd, cfg.sb.max(1)) } else { (2, usize::MAX) };
         let axes = [&xs, &ys, &zs];
         let stream_len = axes[stream_axis].len();
-        let mut vals: Vec<(usize, usize, usize, f64)> = Vec::with_capacity(xs.len() * ys.len() * zs.len());
+        let mut vals: Vec<(usize, usize, usize, f64)> =
+            Vec::with_capacity(xs.len() * ys.len() * zs.len());
         {
             let arrays = Arrays { inputs, temps: &temps, outputs };
             let mut t0 = 0;
@@ -239,7 +254,8 @@ pub fn run_transformed(def: &KernelDef, inputs: &[Grid3], outputs: &mut [Grid3],
                 // generated code would emit.
                 for &zi in if stream_axis == 2 { stream_slice } else { zs.as_slice() } {
                     for &yi in if stream_axis == 1 { stream_slice } else { ys.as_slice() } {
-                        let inner: &[usize] = if stream_axis == 0 { stream_slice } else { xs.as_slice() };
+                        let inner: &[usize] =
+                            if stream_axis == 0 { stream_slice } else { xs.as_slice() };
                         let ufx = cfg.uf[0].max(1);
                         let mut c = 0;
                         while c + ufx <= inner.len() {
@@ -297,9 +313,11 @@ mod tests {
 
     fn small_io(k: &suite::StencilKernel, n: usize) -> (Vec<Grid3>, Vec<Grid3>) {
         let inputs: Vec<Grid3> = (0..k.def.n_inputs)
-            .map(|i| Grid3::from_fn(n, n, n, |x, y, z| {
-                Grid3::synthetic(n, n, n).get(x, y, z) * (1.0 + i as f64 * 0.1)
-            }))
+            .map(|i| {
+                Grid3::from_fn(n, n, n, |x, y, z| {
+                    Grid3::synthetic(n, n, n).get(x, y, z) * (1.0 + i as f64 * 0.1)
+                })
+            })
             .collect();
         let outputs = vec![Grid3::zeros(n, n, n); k.def.n_outputs];
         (inputs, outputs)
@@ -328,8 +346,12 @@ mod tests {
         let g = &inputs[0];
         let hand = 0.75 * g.get(5, 6, 7)
             + (1.0 / 24.0)
-                * (g.get(6, 6, 7) + g.get(4, 6, 7) + g.get(5, 7, 7) + g.get(5, 5, 7)
-                    + g.get(5, 6, 8) + g.get(5, 6, 6));
+                * (g.get(6, 6, 7)
+                    + g.get(4, 6, 7)
+                    + g.get(5, 7, 7)
+                    + g.get(5, 5, 7)
+                    + g.get(5, 6, 8)
+                    + g.get(5, 6, 6));
         assert!((out[0].get(5, 6, 7) - hand).abs() < 1e-12);
     }
 
@@ -352,7 +374,14 @@ mod tests {
             TransformCfg { cm: [2, 1, 4], ..Default::default() },
             TransformCfg { uf: [4, 1, 1], ..Default::default() },
             TransformCfg { streaming: true, sd: 2, sb: 4, ..Default::default() },
-            TransformCfg { bm: [2, 2, 2], cm: [1, 3, 1], uf: [3, 1, 1], streaming: true, sd: 1, sb: 2 },
+            TransformCfg {
+                bm: [2, 2, 2],
+                cm: [1, 3, 1],
+                uf: [3, 1, 1],
+                streaming: true,
+                sd: 1,
+                sb: 2,
+            },
         ];
         for k in [suite::j3d7pt(), suite::helmholtz(), suite::cheby(), suite::addsgd4()] {
             let n = (2 * k.def.valid_margin() as usize + 6).max(14);

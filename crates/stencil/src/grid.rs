@@ -33,10 +33,7 @@ impl Grid3 {
     /// Panics if any extent is zero or the total size overflows `usize`.
     pub fn zeros(nx: usize, ny: usize, nz: usize) -> Self {
         assert!(nx > 0 && ny > 0 && nz > 0, "grid extents must be positive");
-        let len = nx
-            .checked_mul(ny)
-            .and_then(|v| v.checked_mul(nz))
-            .expect("grid size overflow");
+        let len = nx.checked_mul(ny).and_then(|v| v.checked_mul(nz)).expect("grid size overflow");
         Grid3 { nx, ny, nz, data: vec![0.0; len] }
     }
 
@@ -61,7 +58,12 @@ impl Grid3 {
     }
 
     /// Create a grid from an explicit closure over coordinates.
-    pub fn from_fn(nx: usize, ny: usize, nz: usize, mut f: impl FnMut(usize, usize, usize) -> f64) -> Self {
+    pub fn from_fn(
+        nx: usize,
+        ny: usize,
+        nz: usize,
+        mut f: impl FnMut(usize, usize, usize) -> f64,
+    ) -> Self {
         let mut g = Self::zeros(nx, ny, nz);
         for z in 0..nz {
             for y in 0..ny {
@@ -176,11 +178,7 @@ impl Grid3 {
     /// Panics if the extents differ.
     pub fn max_abs_diff(&self, other: &Grid3) -> f64 {
         assert_eq!(self.dims(), other.dims(), "grid shape mismatch");
-        self.data
-            .iter()
-            .zip(&other.data)
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0, f64::max)
+        self.data.iter().zip(&other.data).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max)
     }
 
     /// Sum of all points (useful as a cheap checksum in tests).

@@ -61,10 +61,7 @@ impl StencilSpec {
     /// the full grid minus the halo of width `order`).
     pub fn interior_points(&self) -> usize {
         let h = self.order as usize;
-        self.grid
-            .iter()
-            .map(|&m| m.saturating_sub(2 * h))
-            .product()
+        self.grid.iter().map(|&m| m.saturating_sub(2 * h)).product()
     }
 
     /// Total points of the full grid.

@@ -113,18 +113,21 @@ pub fn helmholtz() -> StencilKernel {
             vec![
                 Term::scaled(1.6, vec![pt(A(0))]),
                 Term::scaled(-0.0833, vec![taps(A(0), TapStencil::box_class(1))]),
-                Term::scaled(0.0052, vec![{
-                    // Second ring: the six ±2 axis neighbors.
-                    let mut t = Vec::new();
-                    for ax in 0..3usize {
-                        for s in [2i32, -2] {
-                            let mut o = [0i32; 3];
-                            o[ax] = s;
-                            t.push(crate::tap::Tap::new(o[0], o[1], o[2], 1.0));
+                Term::scaled(
+                    0.0052,
+                    vec![{
+                        // Second ring: the six ±2 axis neighbors.
+                        let mut t = Vec::new();
+                        for ax in 0..3usize {
+                            for s in [2i32, -2] {
+                                let mut o = [0i32; 3];
+                                o[ax] = s;
+                                t.push(crate::tap::Tap::new(o[0], o[1], o[2], 1.0));
+                            }
                         }
-                    }
-                    taps(A(0), TapStencil::new(t))
-                }]),
+                        taps(A(0), TapStencil::new(t))
+                    }],
+                ),
             ],
         )],
     );
@@ -205,8 +208,8 @@ pub fn hypterm() -> StencilKernel {
     let cons = [q4x, q4y, q4z];
     let mut stages = Vec::new();
     // temp_ax = p * vel_ax (pressure work terms for the energy flux).
-    for ax in 0..3 {
-        stages.push(Stage::new(T(ax), vec![Term::of(vec![pt(p), pt(vel[ax])])]));
+    for (ax, &va) in vel.iter().enumerate() {
+        stages.push(Stage::new(T(ax), vec![Term::of(vec![pt(p), pt(va)])]));
     }
     // Continuity: f0 = Σ_ax D8_ax(ρ·vel_ax).
     stages.push(Stage::new(
@@ -216,17 +219,12 @@ pub fn hypterm() -> StencilKernel {
             .collect(),
     ));
     // Momentum: f_c = Σ_ax vel_ax · D8_ax(ρ·vel_c) + D8_c(p).
-    for c in 0..3 {
+    for (c, &qc) in cons.iter().enumerate() {
         let mut terms: Vec<Term> = (0..3)
-            .map(|ax| {
-                Term::of(vec![
-                    pt(vel[ax]),
-                    taps(cons[c], TapStencil::central_diff(ax, &d8(1.0))),
-                ])
-            })
+            .map(|ax| Term::of(vec![pt(vel[ax]), taps(qc, TapStencil::central_diff(ax, &d8(1.0)))]))
             .collect();
         terms.push(Term::of(vec![taps(p, TapStencil::central_diff(c, &d8(1.0)))]));
-        stages.push(Stage::new(O(1 + c), vec![].into_iter().chain(terms).collect()));
+        stages.push(Stage::new(O(1 + c), terms));
     }
     // Energy: f4 = Σ_ax vel_ax · D8_ax(E) + Σ_ax D8_ax(p·vel_ax)
     //            + ρ · Σ_ax D8_ax(vel_ax)   (dilatation coupling term).
@@ -236,11 +234,8 @@ pub fn hypterm() -> StencilKernel {
     for ax in 0..3 {
         e_terms.push(Term::of(vec![taps(T(ax), TapStencil::central_diff(ax, &d8(1.0)))]));
     }
-    for ax in 0..3 {
-        e_terms.push(Term::of(vec![
-            pt(rho),
-            taps(vel[ax], TapStencil::central_diff(ax, &d8(0.4))),
-        ]));
+    for (ax, &va) in vel.iter().enumerate() {
+        e_terms.push(Term::of(vec![pt(rho), taps(va, TapStencil::central_diff(ax, &d8(0.4)))]));
     }
     stages.push(Stage::new(O(4), e_terms));
     let def = KernelDef::new(9, 3, 5, stages);
@@ -370,12 +365,18 @@ pub fn rhs4center() -> StencilKernel {
         // Divergence of the μ-scaled gradients.
         for ax in 0..3 {
             terms.push(Term::of(vec![taps(T(c * 3 + ax), TapStencil::central_diff(ax, &d4))]));
-            terms.push(Term::scaled(0.5, vec![taps(T(9 + c * 3 + ax), TapStencil::central_diff(ax, &d4))]));
+            terms.push(Term::scaled(
+                0.5,
+                vec![taps(T(9 + c * 3 + ax), TapStencil::central_diff(ax, &d4))],
+            ));
         }
         // (λ+μ) grad-div coupling against the other components.
         for other in 0..3 {
             if other != c {
-                terms.push(Term::of(vec![taps(T(9 + other * 3 + c), TapStencil::central_diff(other, &d4))]));
+                terms.push(Term::of(vec![taps(
+                    T(9 + other * 3 + c),
+                    TapStencil::central_diff(other, &d4),
+                )]));
             }
         }
         // Direct second-derivative terms with point-wise moduli.
@@ -384,7 +385,8 @@ pub fn rhs4center() -> StencilKernel {
         }
         // Mixed-derivative plane terms.
         for (a, b) in [(0usize, 1usize), (1, 2), (0, 2)] {
-            terms.push(Term::of(vec![pt(la), taps(A(c), TapStencil::plane_corners(a, b, &corner))]));
+            terms
+                .push(Term::of(vec![pt(la), taps(A(c), TapStencil::plane_corners(a, b, &corner))]));
         }
         stages.push(Stage::new(O(c), terms));
     }
@@ -409,16 +411,7 @@ pub fn rhs4center() -> StencilKernel {
 
 /// All eight evaluation kernels in the paper's Table III order.
 pub fn all_kernels() -> Vec<StencilKernel> {
-    vec![
-        j3d7pt(),
-        j3d27pt(),
-        helmholtz(),
-        cheby(),
-        hypterm(),
-        addsgd4(),
-        addsgd6(),
-        rhs4center(),
-    ]
+    vec![j3d7pt(), j3d27pt(), helmholtz(), cheby(), hypterm(), addsgd4(), addsgd6(), rhs4center()]
 }
 
 /// All eight specs (no executable definitions).
@@ -445,7 +438,16 @@ mod tests {
         let names: Vec<_> = all_kernels().iter().map(|k| k.spec.name).collect();
         assert_eq!(
             names,
-            ["j3d7pt", "j3d27pt", "helmholtz", "cheby", "hypterm", "addsgd4", "addsgd6", "rhs4center"]
+            [
+                "j3d7pt",
+                "j3d27pt",
+                "helmholtz",
+                "cheby",
+                "hypterm",
+                "addsgd4",
+                "addsgd6",
+                "rhs4center"
+            ]
         );
     }
 
@@ -476,12 +478,7 @@ mod tests {
     #[test]
     fn def_radius_equals_declared_order() {
         for k in all_kernels() {
-            assert_eq!(
-                k.def.max_tap_radius(),
-                k.spec.order,
-                "order mismatch for {}",
-                k.spec.name
-            );
+            assert_eq!(k.def.max_tap_radius(), k.spec.order, "order mismatch for {}", k.spec.name);
         }
     }
 

@@ -250,7 +250,9 @@ mod tests {
         for k in extension_kernels() {
             let n = (2 * k.def.valid_margin() as usize + 6).max(12);
             let inputs: Vec<Grid3> = (0..k.def.n_inputs)
-                .map(|i| Grid3::from_fn(n, n, n, |x, y, z| ((x + 2 * y + 3 * z + i) as f64 * 0.05).cos()))
+                .map(|i| {
+                    Grid3::from_fn(n, n, n, |x, y, z| ((x + 2 * y + 3 * z + i) as f64 * 0.05).cos())
+                })
                 .collect();
             let mut a = vec![Grid3::zeros(n, n, n); k.def.n_outputs];
             let mut b = a.clone();
@@ -294,13 +296,12 @@ mod tests {
         let k = fdtd3d();
         let n = 10;
         // Constant E: curl = 0 → H_new = H_old.
-        let inputs: Vec<Grid3> = (0..6)
-            .map(|i| Grid3::from_fn(n, n, n, |_, _, _| 1.0 + i as f64))
-            .collect();
+        let inputs: Vec<Grid3> =
+            (0..6).map(|i| Grid3::from_fn(n, n, n, |_, _, _| 1.0 + i as f64)).collect();
         let mut out = vec![Grid3::zeros(n, n, n); 3];
         run_reference(&k.def, &inputs, &mut out);
-        for c in 0..3 {
-            assert!((out[c].get(4, 4, 4) - (4.0 + c as f64)).abs() < 1e-12);
+        for (c, o) in out.iter().enumerate() {
+            assert!((o.get(4, 4, 4) - (4.0 + c as f64)).abs() < 1e-12);
         }
     }
 }

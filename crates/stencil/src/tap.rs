@@ -248,8 +248,13 @@ mod tests {
         let g = Grid3::synthetic(10, 10, 10);
         let s = TapStencil::star7(0.5, 0.1);
         let hand = 0.5 * g.get(5, 5, 5)
-            + 0.1 * (g.get(6, 5, 5) + g.get(4, 5, 5) + g.get(5, 6, 5) + g.get(5, 4, 5)
-                + g.get(5, 5, 6) + g.get(5, 5, 4));
+            + 0.1
+                * (g.get(6, 5, 5)
+                    + g.get(4, 5, 5)
+                    + g.get(5, 6, 5)
+                    + g.get(5, 4, 5)
+                    + g.get(5, 5, 6)
+                    + g.get(5, 5, 4));
         // Same additions in a different order — allow rounding slack.
         assert!((s.eval(&g, 5, 5, 5) - hand).abs() < 1e-12);
     }

@@ -19,7 +19,10 @@ fn main() {
     let arch = GpuArch::a100();
     let seeds = 5u64;
 
-    println!("Iso-time shootout on {} ({} s budget, {} seeds, simulated {}):\n", stencil, budget, seeds, arch.name);
+    println!(
+        "Iso-time shootout on {} ({} s budget, {} seeds, simulated {}):\n",
+        stencil, budget, seeds, arch.name
+    );
     println!("{:<11} {:>10} {:>10} {:>8}", "tuner", "mean ms", "worst ms", "evals");
 
     let mut tuners: Vec<Box<dyn Tuner>> = vec![

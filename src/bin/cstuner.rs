@@ -36,13 +36,10 @@ fn all_stencils() -> Vec<StencilKernel> {
 }
 
 fn find_stencil(name: &str) -> StencilKernel {
-    all_stencils()
-        .into_iter()
-        .find(|k| k.spec.name == name)
-        .unwrap_or_else(|| {
-            eprintln!("unknown stencil `{name}`; run `cstuner list`");
-            std::process::exit(2);
-        })
+    all_stencils().into_iter().find(|k| k.spec.name == name).unwrap_or_else(|| {
+        eprintln!("unknown stencil `{name}`; run `cstuner list`");
+        std::process::exit(2);
+    })
 }
 
 fn build_tuner(name: &str) -> Box<dyn Tuner> {
@@ -106,7 +103,12 @@ fn run_tune(flags: &HashMap<String, String>) -> (StencilKernel, cstuner::core::T
         std::process::exit(1);
     });
     println!("tuner:      {}", out.tuner);
-    println!("best:       {:.4} ms  ({:.2}x over untuned baseline {:.4} ms)", out.best_time_ms, baseline / out.best_time_ms, baseline);
+    println!(
+        "best:       {:.4} ms  ({:.2}x over untuned baseline {:.4} ms)",
+        out.best_time_ms,
+        baseline / out.best_time_ms,
+        baseline
+    );
     println!("setting:    {}", out.best_setting);
     println!("evals:      {}", out.evaluations);
     println!("search:     {:.1} s virtual", out.search_s);

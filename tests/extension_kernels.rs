@@ -10,7 +10,12 @@ use cstuner::stencil::suite_ext;
 fn extension_kernels_tune_end_to_end() {
     for kernel in suite_ext::extension_kernels() {
         let mut eval = SimEvaluator::new(kernel.spec.clone(), GpuArch::a100(), 11);
-        let cfg = CsTunerConfig { dataset_size: 48, max_iterations: 8, codegen_cap: 4, ..Default::default() };
+        let cfg = CsTunerConfig {
+            dataset_size: 48,
+            max_iterations: 8,
+            codegen_cap: 4,
+            ..Default::default()
+        };
         let out = CsTuner::new(cfg).tune(&mut eval, 11).unwrap_or_else(|e| {
             panic!("{} failed to tune: {e}", kernel.spec.name);
         });

@@ -59,7 +59,8 @@ fn all_tuners_complete_under_iso_time_budget() {
     ];
     for tuner in tuners.iter_mut() {
         let mut eval = SimEvaluator::with_budget(spec.clone(), GpuArch::a100(), 1, 40.0);
-        let out = tuner.tune(&mut eval, 1).unwrap_or_else(|e| panic!("{} failed: {e}", tuner.name()));
+        let out =
+            tuner.tune(&mut eval, 1).unwrap_or_else(|e| panic!("{} failed: {e}", tuner.name()));
         assert!(out.best_time_ms.is_finite(), "{}", tuner.name());
         assert!(out.search_s <= 45.0, "{} took {}s", tuner.name(), out.search_s);
         // Curves are monotone non-increasing in best and non-decreasing in
@@ -79,7 +80,8 @@ fn cstuner_beats_random_search_iso_time() {
     let mut rnd_total = 0.0;
     for seed in 0..4 {
         let mut e1 = SimEvaluator::with_budget(spec.clone(), GpuArch::a100(), seed, 60.0);
-        cs_total += CsTuner::new(CsTunerConfig::default()).tune(&mut e1, seed).unwrap().best_time_ms;
+        cs_total +=
+            CsTuner::new(CsTunerConfig::default()).tune(&mut e1, seed).unwrap().best_time_ms;
         let mut e2 = SimEvaluator::with_budget(spec.clone(), GpuArch::a100(), seed, 60.0);
         rnd_total += RandomSearch::default().tune(&mut e2, seed).unwrap().best_time_ms;
     }

@@ -1,0 +1,207 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the harness surface this workspace's benches use —
+//! `Criterion::bench_function`, `benchmark_group` with `sample_size` and
+//! `finish`, `Bencher::iter` / `iter_batched`, and the
+//! `criterion_group!` / `criterion_main!` macros — with plain
+//! `std::time::Instant` timing: a short warm-up, then per-sample means
+//! printed as text. No plots, no statistics beyond mean/min/max.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from deleting a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// How `iter_batched` amortizes setup between routine calls. The
+/// stand-in runs one setup per routine call for every variant.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration input.
+    SmallInput,
+    /// Large per-iteration input.
+    LargeInput,
+    /// Fresh input every iteration.
+    PerIteration,
+}
+
+/// Passed to benchmark closures; runs and times the routine.
+pub struct Bencher {
+    samples: usize,
+    /// Mean/min/max per-call time filled in by `iter*`.
+    result: Option<(Duration, Duration, Duration)>,
+}
+
+impl Bencher {
+    fn new(samples: usize) -> Self {
+        Bencher { samples, result: None }
+    }
+
+    /// Time `routine`, called repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and calibration: find an iteration count that gives a
+        // measurable per-sample duration.
+        let start = Instant::now();
+        black_box(routine());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let target = Duration::from_millis(5);
+        let iters = (target.as_nanos() / once.as_nanos()).clamp(1, 100_000) as usize;
+
+        let mut times = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            times.push(t0.elapsed() / iters as u32);
+        }
+        self.record(&times);
+    }
+
+    /// Time `routine` over inputs built by `setup`; setup time excluded.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut times = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            times.push(t0.elapsed());
+        }
+        self.record(&times);
+    }
+
+    fn record(&mut self, times: &[Duration]) {
+        let total: Duration = times.iter().sum();
+        let mean = total / times.len().max(1) as u32;
+        let min = times.iter().min().copied().unwrap_or_default();
+        let max = times.iter().max().copied().unwrap_or_default();
+        self.result = Some((mean, min, max));
+    }
+}
+
+fn report(name: &str, result: Option<(Duration, Duration, Duration)>) {
+    match result {
+        Some((mean, min, max)) => {
+            println!("{name:<50} mean {mean:>12.3?}   [{min:.3?} .. {max:.3?}]");
+        }
+        None => println!("{name:<50} (no measurement)"),
+    }
+}
+
+/// A named group of benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    samples: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Samples per benchmark (criterion's minimum is 10; any value works
+    /// here).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<N: Into<String>, F>(&mut self, id: N, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(self.samples);
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id.into()), b.result);
+        self
+    }
+
+    /// End the group (printing is already done per-benchmark).
+    pub fn finish(self) {}
+}
+
+/// Benchmark harness entry point.
+pub struct Criterion {
+    samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { samples: 10 }
+    }
+}
+
+impl Criterion {
+    /// Start a named group.
+    pub fn benchmark_group<N: Into<String>>(&mut self, name: N) -> BenchmarkGroup<'_> {
+        let samples = self.samples;
+        BenchmarkGroup { _parent: self, name: name.into(), samples }
+    }
+
+    /// Run a single ungrouped benchmark.
+    pub fn bench_function<N: Into<String>, F>(&mut self, id: N, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(self.samples);
+        f(&mut b);
+        report(&id.into(), b.result);
+        self
+    }
+}
+
+/// Bundle benchmark functions under a group name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Produce `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bench_demo(c: &mut Criterion) {
+        let mut g = c.benchmark_group("demo");
+        g.sample_size(10);
+        g.bench_function("iter", |b| b.iter(|| black_box(3u64) * 7));
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u32; 64], |v| v.iter().sum::<u32>(), BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+
+    criterion_group!(benches, bench_demo);
+
+    #[test]
+    fn harness_runs_groups() {
+        benches();
+    }
+
+    #[test]
+    fn bencher_records_a_mean() {
+        let mut b = Bencher::new(5);
+        b.iter(|| black_box(1 + 1));
+        assert!(b.result.is_some());
+        let (mean, min, max) = b.result.unwrap();
+        assert!(min <= mean && mean <= max.max(mean));
+    }
+}

@@ -1,0 +1,425 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! Implements the small parallel-iterator surface this workspace uses —
+//! `par_iter` / `into_par_iter` over `Vec` and `Range<usize>`, with `map`,
+//! `flat_map_iter`, `for_each` and `collect` — on top of a lazily started
+//! persistent worker pool with an atomic work-stealing index (spawning
+//! threads per call costs more than the batches here take to compute).
+//! The input is materialized eagerly (fine at the batch sizes used here),
+//! output order is preserved, and nested parallel calls from inside a
+//! worker run serially so a parallel sweep containing parallel prefetches
+//! cannot multiply thread counts.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+pub mod prelude {
+    //! Glob-import surface mirroring `rayon::prelude`.
+    pub use crate::{
+        FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator, ParallelIterator,
+    };
+}
+
+thread_local! {
+    /// True while the current thread is a pool worker; nested parallel
+    /// calls then run serially instead of spawning more threads.
+    static IN_POOL: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Number of worker threads: `RAYON_NUM_THREADS` if set and nonzero,
+/// else the machine's available parallelism. Read once and cached — the
+/// persistent pool's size is fixed at first use, so later env changes
+/// must not desynchronize the serial fast-path check from the pool.
+fn thread_count() -> usize {
+    static N: OnceLock<usize> = OnceLock::new();
+    *N.get_or_init(|| {
+        if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                if n > 0 {
+                    return n;
+                }
+            }
+        }
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    })
+}
+
+/// One fan-out submitted to the persistent pool: an index-driven task
+/// plus the bookkeeping needed for work stealing and completion.
+///
+/// `run` is a type-erased pointer to the caller's stack-borrowed closure.
+/// Dereferencing it is sound because [`submit_and_wait`] does not return
+/// until `completed == n`, i.e. until every invocation of the closure has
+/// finished; workers that pick the job up later only ever observe
+/// `next >= n` and never touch `run` again.
+struct Job {
+    run: *const (dyn Fn(usize) + Sync),
+    /// Next unclaimed index (work-stealing cursor).
+    next: AtomicUsize,
+    /// Total number of indices.
+    n: usize,
+    /// Indices whose closure invocation has returned.
+    completed: AtomicUsize,
+    /// Signalled (under `done_m`) when `completed` reaches `n`.
+    done_m: Mutex<()>,
+    done_cv: Condvar,
+}
+
+unsafe impl Send for Job {}
+unsafe impl Sync for Job {}
+
+impl Job {
+    /// Claim and run indices until the cursor is exhausted.
+    fn drain(&self) {
+        /// Counts the index as completed even if the closure panics, so a
+        /// panicking task can never strand the submitter in its wait loop
+        /// (it surfaces as a missing result there instead).
+        struct Complete<'a>(&'a Job);
+        impl Drop for Complete<'_> {
+            fn drop(&mut self) {
+                let j = self.0;
+                if j.completed.fetch_add(1, Ordering::AcqRel) + 1 == j.n {
+                    let _g = j.done_m.lock().unwrap();
+                    j.done_cv.notify_all();
+                }
+            }
+        }
+        loop {
+            let i = self.next.fetch_add(1, Ordering::Relaxed);
+            if i >= self.n {
+                return;
+            }
+            let _complete = Complete(self);
+            unsafe { (*self.run)(i) };
+        }
+    }
+
+    fn is_exhausted(&self) -> bool {
+        self.next.load(Ordering::Relaxed) >= self.n
+    }
+}
+
+/// The persistent worker pool: a queue of in-flight jobs and the threads
+/// that drain them. Threads are spawned once, on first parallel call.
+struct Pool {
+    queue: Mutex<Vec<Arc<Job>>>,
+    available: Condvar,
+}
+
+static POOL: OnceLock<Pool> = OnceLock::new();
+
+fn pool() -> &'static Pool {
+    static STARTED: std::sync::Once = std::sync::Once::new();
+    let p = POOL.get_or_init(|| Pool { queue: Mutex::new(Vec::new()), available: Condvar::new() });
+    // Spawn workers only after the `OnceLock` is populated — they read it
+    // back through `POOL.get()`. The submitting thread always participates
+    // in its own job, so `thread_count()` concurrent lanes need one fewer
+    // worker.
+    STARTED.call_once(|| {
+        for _ in 1..thread_count() {
+            std::thread::spawn(worker_loop);
+        }
+    });
+    p
+}
+
+fn worker_loop() {
+    IN_POOL.with(|p| p.set(true));
+    let pool = POOL.get().expect("worker started before pool init");
+    loop {
+        let job = {
+            let mut q = pool.queue.lock().unwrap();
+            loop {
+                q.retain(|j| !j.is_exhausted());
+                if let Some(j) = q.first() {
+                    break Arc::clone(j);
+                }
+                q = pool.available.wait(q).unwrap();
+            }
+        };
+        // Keep the worker alive across task panics; the completion guard
+        // in `drain` has already accounted for the panicked index.
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| job.drain()));
+    }
+}
+
+/// Publish `f` over `0..n` to the pool, help drain it, and block until
+/// every index has finished running.
+fn submit_and_wait(n: usize, f: &(dyn Fn(usize) + Sync)) {
+    // Erase the borrow's lifetime; see the safety note on `Job::run`.
+    let run: *const (dyn Fn(usize) + Sync) =
+        unsafe { std::mem::transmute(f as *const (dyn Fn(usize) + Sync + '_)) };
+    let job = Arc::new(Job {
+        run,
+        next: AtomicUsize::new(0),
+        n,
+        completed: AtomicUsize::new(0),
+        done_m: Mutex::new(()),
+        done_cv: Condvar::new(),
+    });
+    {
+        let mut q = pool().queue.lock().unwrap();
+        q.push(Arc::clone(&job));
+        pool().available.notify_all();
+    }
+    job.drain();
+    let mut g = job.done_m.lock().unwrap();
+    while job.completed.load(Ordering::Acquire) < n {
+        g = job.done_cv.wait(g).unwrap();
+    }
+}
+
+/// Apply `f` to every item on the persistent worker pool, preserving
+/// order. Runs serially when the input is tiny, when only one hardware
+/// thread is available, or when already inside a worker.
+fn par_transform<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    if thread_count() <= 1 || n <= 1 || IN_POOL.with(|p| p.get()) {
+        return items.into_iter().map(f).collect();
+    }
+
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|it| Mutex::new(Some(it))).collect();
+    let out: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+
+    submit_and_wait(n, &|i: usize| {
+        let item = slots[i].lock().unwrap().take().expect("slot taken twice");
+        let r = f(item);
+        *out[i].lock().unwrap() = Some(r);
+    });
+
+    out.iter().map(|m| m.lock().unwrap().take().expect("worker dropped a result")).collect()
+}
+
+/// An eager "parallel" iterator: the items are already materialized;
+/// the terminal operation fans them across the pool.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+/// Conversion into a parallel iterator by value.
+pub trait IntoParallelIterator {
+    /// Item type produced.
+    type Item: Send;
+    /// Iterator type produced.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Convert self.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// Conversion into a parallel iterator over references.
+pub trait IntoParallelRefIterator<'a> {
+    /// Item type produced (a reference).
+    type Item: Send;
+    /// Iterator type produced.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Borrowing conversion.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = ParIter<T>;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    type Iter = ParIter<usize>;
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter { items: self.collect() }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    type Iter = ParIter<&'a T>;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter { items: self.iter().collect() }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    type Iter = ParIter<&'a T>;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter { items: self.iter().collect() }
+    }
+}
+
+/// Collection from a parallel iterator (the `collect` terminal).
+pub trait FromParallelIterator<T: Send>: Sized {
+    /// Build the collection from the ordered results.
+    fn from_par_iter<I: ParallelIterator<Item = T>>(iter: I) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter<I: ParallelIterator<Item = T>>(iter: I) -> Self {
+        iter.into_items()
+    }
+}
+
+/// The parallel-iterator combinators used in this workspace.
+pub trait ParallelIterator: Sized {
+    /// Item type.
+    type Item: Send;
+
+    /// Consume self, running any pending transform on the pool, and
+    /// return the materialized ordered items.
+    fn into_items(self) -> Vec<Self::Item>;
+
+    /// Map each item (runs on the pool at the terminal operation).
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync,
+    {
+        Map { base: self, f }
+    }
+
+    /// Map each item to a serial iterator and flatten.
+    fn flat_map_iter<I, F>(self, f: F) -> FlatMapIter<Self, F>
+    where
+        I: IntoIterator,
+        I::Item: Send,
+        F: Fn(Self::Item) -> I + Sync,
+    {
+        FlatMapIter { base: self, f }
+    }
+
+    /// Run `f` on every item.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync,
+    {
+        let items = self.into_items();
+        let _: Vec<()> = par_transform(items, f);
+    }
+
+    /// Collect into `C` preserving input order.
+    fn collect<C: FromParallelIterator<Self::Item>>(self) -> C {
+        C::from_par_iter(self)
+    }
+}
+
+impl<T: Send> ParallelIterator for ParIter<T> {
+    type Item = T;
+    fn into_items(self) -> Vec<T> {
+        self.items
+    }
+}
+
+/// Lazy map adapter; the closure runs on the pool at the terminal op.
+pub struct Map<B, F> {
+    base: B,
+    f: F,
+}
+
+impl<B, R, F> ParallelIterator for Map<B, F>
+where
+    B: ParallelIterator,
+    R: Send,
+    F: Fn(B::Item) -> R + Sync,
+{
+    type Item = R;
+    fn into_items(self) -> Vec<R> {
+        par_transform(self.base.into_items(), self.f)
+    }
+}
+
+/// Lazy flat-map adapter; each item's sub-iterator is drained on the
+/// worker that processed it, then concatenated in input order.
+pub struct FlatMapIter<B, F> {
+    base: B,
+    f: F,
+}
+
+impl<B, I, F> ParallelIterator for FlatMapIter<B, F>
+where
+    B: ParallelIterator,
+    I: IntoIterator,
+    I::Item: Send,
+    F: Fn(B::Item) -> I + Sync,
+{
+    type Item = I::Item;
+    fn into_items(self) -> Vec<I::Item> {
+        let f = self.f;
+        let chunks: Vec<Vec<I::Item>> =
+            par_transform(self.base.into_items(), |it| f(it).into_iter().collect());
+        chunks.into_iter().flatten().collect()
+    }
+}
+
+/// The number of threads terminal operations will use.
+pub fn current_num_threads() -> usize {
+    thread_count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<u64> = (0..100u64).collect();
+        let out: Vec<u64> = v.into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(out, (0..100u64).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_iter_borrows() {
+        let v: Vec<u32> = (0..50).collect();
+        let out: Vec<u32> = v.par_iter().map(|&x| x + 1).collect();
+        assert_eq!(out, (1..51).collect::<Vec<_>>());
+        assert_eq!(v.len(), 50);
+    }
+
+    #[test]
+    fn range_flat_map_iter() {
+        let out: Vec<usize> =
+            (0..4usize).into_par_iter().flat_map_iter(|c| (0..3).map(move |i| c * 3 + i)).collect();
+        assert_eq!(out, (0..12).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn for_each_visits_everything() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let sum = AtomicUsize::new(0);
+        let v: Vec<usize> = (1..=100).collect();
+        v.into_par_iter().for_each(|x| {
+            sum.fetch_add(x, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 5050);
+    }
+
+    #[test]
+    fn many_sequential_calls_reuse_the_pool() {
+        // The hot path issues thousands of small fan-outs; each must ride
+        // the persistent pool, not respawn threads.
+        for round in 0..1000u64 {
+            let v: Vec<u64> = (0..16).collect();
+            let out: Vec<u64> = v.into_par_iter().map(|x| x + round).collect();
+            assert_eq!(out, (round..round + 16).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn nested_calls_do_not_deadlock() {
+        let out: Vec<usize> = (0..8usize)
+            .into_par_iter()
+            .map(|i| {
+                let inner: Vec<usize> = (0..4usize).into_par_iter().map(|j| i * 4 + j).collect();
+                inner.into_iter().sum()
+            })
+            .collect();
+        let expect: Vec<usize> = (0..8).map(|i| (0..4).map(|j| i * 4 + j).sum()).collect();
+        assert_eq!(out, expect);
+    }
+}

@@ -1,0 +1,186 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! Real serde drives a visitor-based `Serializer`; this workspace only
+//! ever serializes to JSON, so the stand-in collapses the design to a
+//! single intermediate [`Value`] tree: `Serialize` means "render
+//! yourself as a [`Value`]", and `serde_json` pretty-prints that tree.
+//! There is no proc-macro `derive(Serialize)` — the handful of structs
+//! that need it implement the trait by hand (see `cst-bench`). The
+//! `derive` cargo feature exists only so dependents can request it
+//! without breaking the build.
+
+/// A JSON-shaped value tree. Object fields keep insertion order so the
+/// emitted JSON is deterministic and mirrors struct declaration order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Signed integer.
+    Int(i64),
+    /// Unsigned integer (distinct so `u64::MAX` survives).
+    UInt(u64),
+    /// Floating point; non-finite values render as `null`.
+    Float(f64),
+    /// String.
+    String(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Object with ordered fields.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Build an object from ordered `(key, value)` pairs.
+    pub fn object(fields: Vec<(String, Value)>) -> Value {
+        Value::Object(fields)
+    }
+}
+
+/// Render self as a [`Value`] tree.
+pub trait Serialize {
+    /// Produce the value tree.
+    fn to_value(&self) -> Value;
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+macro_rules! impl_ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+    )*};
+}
+
+impl_ser_int!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_ser_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+    )*};
+}
+
+impl_ser_uint!(u8, u16, u32, u64, usize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self as f64)
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![self.0.to_value(), self.1.to_value(), self.2.to_value()])
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize, D: Serialize> Serialize for (A, B, C, D) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![
+            self.0.to_value(),
+            self.1.to_value(),
+            self.2.to_value(),
+            self.3.to_value(),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_map_to_expected_variants() {
+        assert_eq!(3u32.to_value(), Value::UInt(3));
+        assert_eq!((-7i32).to_value(), Value::Int(-7));
+        assert_eq!(1.5f64.to_value(), Value::Float(1.5));
+        assert_eq!(true.to_value(), Value::Bool(true));
+        assert_eq!("hi".to_value(), Value::String("hi".into()));
+    }
+
+    #[test]
+    fn containers_nest() {
+        let v = vec![(1u32, 2.0f64), (3, 4.0)];
+        match v.to_value() {
+            Value::Array(items) => {
+                assert_eq!(items.len(), 2);
+                assert_eq!(items[0], Value::Array(vec![Value::UInt(1), Value::Float(2.0)]));
+            }
+            other => panic!("expected array, got {other:?}"),
+        }
+        let arr: [f64; 3] = [1.0, 2.0, 3.0];
+        assert_eq!(
+            arr.to_value(),
+            Value::Array(vec![Value::Float(1.0), Value::Float(2.0), Value::Float(3.0)])
+        );
+    }
+}

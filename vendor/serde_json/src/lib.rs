@@ -1,0 +1,183 @@
+//! Offline stand-in for `serde_json`: pretty-prints the [`serde::Value`]
+//! tree produced by the in-tree `serde` stand-in. Output matches real
+//! serde_json's pretty format (2-space indent, `"key": value`), which the
+//! report tests assert on.
+
+use serde::{Serialize, Value};
+use std::io::Write;
+
+/// Serialization error (the stand-in only fails on I/O).
+#[derive(Debug)]
+pub struct Error {
+    inner: std::io::Error,
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "JSON serialization failed: {}", self.inner)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error { inner: e }
+    }
+}
+
+/// Serialize `value` as pretty JSON into `writer`.
+pub fn to_writer_pretty<W: Write, T: Serialize + ?Sized>(
+    mut writer: W,
+    value: &T,
+) -> Result<(), Error> {
+    let tree = value.to_value();
+    let mut buf = String::new();
+    write_value(&mut buf, &tree, 0);
+    writer.write_all(buf.as_bytes())?;
+    Ok(())
+}
+
+/// Serialize `value` as a pretty JSON string.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut buf = String::new();
+    write_value(&mut buf, &value.to_value(), 0);
+    Ok(buf)
+}
+
+fn write_value(out: &mut String, v: &Value, indent: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::UInt(u) => out.push_str(&u.to_string()),
+        Value::Float(f) => {
+            if f.is_finite() {
+                // Keep floats round-trippable; integral floats print ".0"
+                // like real serde_json.
+                if *f == f.trunc() && f.abs() < 1e15 {
+                    out.push_str(&format!("{f:.1}"));
+                } else {
+                    out.push_str(&format!("{f}"));
+                }
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::String(s) => write_string(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('\n');
+                push_indent(out, indent + 1);
+                write_value(out, item, indent + 1);
+            }
+            out.push('\n');
+            push_indent(out, indent);
+            out.push(']');
+        }
+        Value::Object(fields) => {
+            if fields.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, val)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('\n');
+                push_indent(out, indent + 1);
+                write_string(out, k);
+                out.push_str(": ");
+                write_value(out, val, indent + 1);
+            }
+            out.push('\n');
+            push_indent(out, indent);
+            out.push('}');
+        }
+    }
+}
+
+fn push_indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::{Serialize, Value};
+
+    struct Demo {
+        id: &'static str,
+        n: u32,
+    }
+
+    impl Serialize for Demo {
+        fn to_value(&self) -> Value {
+            Value::object(vec![
+                ("id".to_string(), self.id.to_value()),
+                ("n".to_string(), self.n.to_value()),
+            ])
+        }
+    }
+
+    #[test]
+    fn pretty_format_matches_serde_json_conventions() {
+        let s = to_string_pretty(&Demo { id: "demo", n: 3 }).unwrap();
+        assert!(s.contains("\"id\": \"demo\""), "got: {s}");
+        assert!(s.contains("\"n\": 3"));
+        assert!(s.starts_with("{\n  "));
+        assert!(s.ends_with('}'));
+    }
+
+    #[test]
+    fn arrays_indent_and_floats_round_trip() {
+        let s = to_string_pretty(&vec![1.5f64, 2.0]).unwrap();
+        assert_eq!(s, "[\n  1.5,\n  2.0\n]");
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let s = to_string_pretty(&vec![f64::INFINITY, f64::NAN]).unwrap();
+        assert_eq!(s, "[\n  null,\n  null\n]");
+    }
+
+    #[test]
+    fn strings_escape_control_characters() {
+        let s = to_string_pretty(&"a\"b\\c\nd").unwrap();
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn to_writer_matches_to_string() {
+        let mut buf = Vec::new();
+        to_writer_pretty(&mut buf, &vec![1u32, 2, 3]).unwrap();
+        assert_eq!(String::from_utf8(buf).unwrap(), "[\n  1,\n  2,\n  3\n]");
+    }
+}
