@@ -115,6 +115,7 @@ impl Recorder {
             evaluations: eval.unique_evaluations(),
             search_s: eval.clock().now_s(),
             preproc: PreprocBreakdown::default(),
+            faults: eval.fault_stats(),
         })
     }
 }

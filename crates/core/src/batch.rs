@@ -12,7 +12,7 @@
 //! check how much of the workload actually went through the wide path.
 
 use crate::evaluator::Evaluator;
-use cst_gpu_sim::{MetricsReport, VirtualClock};
+use cst_gpu_sim::{FaultStats, MetricsReport, VirtualClock};
 use cst_space::{OptSpace, Setting};
 use cst_stencil::StencilSpec;
 
@@ -94,6 +94,12 @@ impl<E: Evaluator> Evaluator for BatchEvaluator<E> {
     }
 
     fn evaluate_batch(&mut self, batch: &[Setting]) -> Vec<f64> {
+        // An empty batch is not a served batch: counting it would skew the
+        // batching statistics and imply a "successful evaluation of
+        // nothing" happened downstream.
+        if batch.is_empty() {
+            return Vec::new();
+        }
         self.stats.batches += 1;
         self.stats.batched_settings += batch.len() as u64;
         self.stats.largest_batch = self.stats.largest_batch.max(batch.len());
@@ -110,6 +116,10 @@ impl<E: Evaluator> Evaluator for BatchEvaluator<E> {
 
     fn unique_evaluations(&self) -> u64 {
         self.inner.unique_evaluations()
+    }
+
+    fn fault_stats(&self) -> FaultStats {
+        self.inner.fault_stats()
     }
 
     fn random_valid(&mut self) -> Setting {
@@ -157,5 +167,19 @@ mod tests {
         assert_eq!(st.scalar_settings, 1);
         e.reset_stats();
         assert_eq!(e.stats(), BatchStats::default());
+    }
+
+    /// Regression: an empty batch used to be recorded as a served batch
+    /// (`batches += 1`) and forwarded downstream, silently reading as a
+    /// "successful evaluation of nothing". It must now return an explicit
+    /// empty result without touching any counter or the inner evaluator.
+    #[test]
+    fn empty_batch_returns_explicit_empty_result() {
+        let mut e = BatchEvaluator::new(eval());
+        let out = e.evaluate_batch(&[]);
+        assert!(out.is_empty());
+        assert_eq!(e.stats(), BatchStats::default(), "empty batch must not count as served");
+        assert_eq!(e.clock().now_s(), 0.0);
+        assert_eq!(e.unique_evaluations(), 0);
     }
 }

@@ -6,13 +6,16 @@
 //! production implementation is [`SimEvaluator`] over the GPU model; tests
 //! substitute synthetic landscapes.
 
-use cst_gpu_sim::{GpuArch, GpuSim, MetricsReport, ValidSpace, VirtualClock};
+use cst_gpu_sim::{
+    EvalRecord, FaultKind, FaultProfile, FaultStats, GpuArch, GpuSim, MetricsReport, ValidSpace,
+    VirtualClock,
+};
 use cst_space::{OptSpace, Setting};
 use cst_stencil::StencilSpec;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rayon::prelude::*;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// `CST_SERIAL=1` disables parallel prefetching process-wide, for A/B
 /// benchmarking and for proving bit-identical results either way. The
@@ -52,8 +55,14 @@ pub trait Evaluator {
     /// Evaluate a batch of settings, returning times in input order.
     /// Semantically identical to calling [`Evaluator::evaluate`] in a
     /// loop (the clock is charged in canonical input order); concurrent
-    /// implementations overlap only the deterministic model work.
+    /// implementations overlap only the deterministic model work. An
+    /// empty batch returns an explicit empty result without touching the
+    /// prefetcher, the clock or any counter — it is not a "successful
+    /// evaluation of nothing".
     fn evaluate_batch(&mut self, batch: &[Setting]) -> Vec<f64> {
+        if batch.is_empty() {
+            return Vec::new();
+        }
         self.prefetch(batch);
         batch.iter().map(|s| self.evaluate(s)).collect()
     }
@@ -75,12 +84,31 @@ pub trait Evaluator {
     /// Unique settings evaluated (memoization misses).
     fn unique_evaluations(&self) -> u64;
 
+    /// Cumulative per-stage failure/retry counters of this session's
+    /// measurement path. Implementations without fault handling report
+    /// all-zero (the default).
+    fn fault_stats(&self) -> FaultStats {
+        FaultStats::default()
+    }
+
     /// Draw one fully valid setting.
     fn random_valid(&mut self) -> Setting;
 }
 
 /// Simulator-backed evaluator: the stand-in for compiling and running on
 /// the paper's GPU testbeds.
+///
+/// The measurement path is fault-tolerant: with an active
+/// [`FaultProfile`] (explicit via [`SimEvaluator::with_fault_profile`],
+/// or ambient via `CST_FAULT_SEED`, see [`FaultProfile::from_env`]),
+/// failed attempts are retried a bounded number of times with
+/// deterministic exponential backoff charged to the virtual clock, and
+/// settings that fail every attempt are quarantined: their measurement
+/// commits as `f64::INFINITY` (a penalty every search driver already
+/// treats as "worst possible"), never to be re-attempted. All fault
+/// decisions are pure functions of (profile seed, setting, attempt), so
+/// runs stay bit-deterministic, and an inactive profile takes the exact
+/// fault-free code path.
 #[derive(Debug, Clone)]
 pub struct SimEvaluator {
     valid: ValidSpace,
@@ -88,10 +116,14 @@ pub struct SimEvaluator {
     rng: StdRng,
     memo: HashMap<Setting, f64>,
     unique: u64,
+    faults: FaultProfile,
+    fault_stats: FaultStats,
+    quarantine: HashSet<Setting>,
 }
 
 impl SimEvaluator {
-    /// Build with an unbounded clock.
+    /// Build with an unbounded clock. Fault injection follows the
+    /// environment (`CST_FAULT_SEED` et al.); off when unset.
     pub fn new(spec: StencilSpec, arch: GpuArch, seed: u64) -> Self {
         let space = OptSpace::for_stencil(&spec);
         let sim = GpuSim::new(spec, arch);
@@ -101,6 +133,9 @@ impl SimEvaluator {
             rng: StdRng::seed_from_u64(seed ^ 0x5eed_e7a1),
             memo: HashMap::new(),
             unique: 0,
+            faults: FaultProfile::from_env().unwrap_or_else(FaultProfile::off),
+            fault_stats: FaultStats::default(),
+            quarantine: HashSet::new(),
         }
     }
 
@@ -109,6 +144,28 @@ impl SimEvaluator {
         let mut e = Self::new(spec, arch, seed);
         e.clock = VirtualClock::with_budget(budget_s);
         e
+    }
+
+    /// This evaluator with an explicit fault profile, overriding the
+    /// environment (including overriding it to [`FaultProfile::off`]).
+    pub fn with_fault_profile(mut self, profile: FaultProfile) -> Self {
+        self.faults = profile;
+        self
+    }
+
+    /// The active fault profile.
+    pub fn fault_profile(&self) -> &FaultProfile {
+        &self.faults
+    }
+
+    /// Whether a setting has been quarantined after exhausting retries.
+    pub fn is_quarantined(&self, s: &Setting) -> bool {
+        self.quarantine.contains(s)
+    }
+
+    /// Number of settings currently quarantined.
+    pub fn quarantined_count(&self) -> usize {
+        self.quarantine.len()
     }
 
     /// The underlying simulator.
@@ -121,8 +178,9 @@ impl SimEvaluator {
         &self.valid
     }
 
-    /// Reset the clock and evaluation memo (fresh tuning run on the same
-    /// stencil/arch).
+    /// Reset the clock, evaluation memo and fault state (fresh tuning run
+    /// on the same stencil/arch). The fault *profile* persists — it is
+    /// configuration, not session state.
     pub fn reset(&mut self, seed: u64, budget_s: Option<f64>) {
         self.clock = match budget_s {
             Some(b) => VirtualClock::with_budget(b),
@@ -131,6 +189,55 @@ impl SimEvaluator {
         self.rng = StdRng::seed_from_u64(seed ^ 0x5eed_e7a1);
         self.memo.clear();
         self.unique = 0;
+        self.fault_stats = FaultStats::default();
+        self.quarantine.clear();
+    }
+
+    /// Bounded retry loop for one setting under an active fault profile.
+    /// Each failed attempt charges a stage-dependent fraction of the
+    /// setting's compile+run cost plus exponential backoff to the virtual
+    /// clock; a run of `1 + max_retries` consecutive failures quarantines
+    /// the setting and commits `f64::INFINITY` as its measurement. The
+    /// measurement-noise rng is only drawn on the successful attempt, so
+    /// the noise stream position depends solely on the sequence of
+    /// committed successes — never on how many faults preceded them.
+    fn evaluate_faulty(&mut self, s: &Setting, record: &EvalRecord) -> f64 {
+        let mut attempt: u32 = 0;
+        loop {
+            match self.faults.decide(s, attempt) {
+                None => {
+                    let mut m = cst_gpu_sim::noisy_measurement(record.time_ms(), &mut self.rng);
+                    let outlier = self.faults.outlier_factor(s, attempt);
+                    if outlier > 1.0 {
+                        self.fault_stats.outliers += 1;
+                        m *= outlier;
+                    }
+                    self.clock.advance(record.cost_s);
+                    return m;
+                }
+                Some(kind) => {
+                    self.fault_stats.record(kind);
+                    // A failed attempt still costs real time, by the stage
+                    // it died at: a compile error skips the run entirely, a
+                    // launch failure pays compile plus setup, a timeout
+                    // burns the watchdog window on top of the compile.
+                    let charge = match kind {
+                        FaultKind::CompileError => 0.5 * record.cost_s,
+                        FaultKind::LaunchFailure => 0.6 * record.cost_s,
+                        FaultKind::Timeout => 2.0 * record.cost_s,
+                    };
+                    self.clock.advance(charge);
+                    if attempt >= self.faults.max_retries {
+                        self.fault_stats.quarantined += 1;
+                        self.quarantine.insert(*s);
+                        return f64::INFINITY;
+                    }
+                    self.fault_stats.retries += 1;
+                    self.clock.advance(self.faults.backoff_s(attempt));
+                    attempt += 1;
+                }
+            }
+        }
     }
 }
 
@@ -154,8 +261,13 @@ impl Evaluator for SimEvaluator {
         // One model evaluation yields both the measured time and the clock
         // charge (the old path recomputed the footprint for each).
         let record = self.valid.sim().evaluate_full(s);
-        let measured = cst_gpu_sim::noisy_measurement(record.time_ms(), &mut self.rng);
-        self.clock.advance(record.cost_s);
+        let measured = if self.faults.is_active() {
+            self.evaluate_faulty(s, &record)
+        } else {
+            let m = cst_gpu_sim::noisy_measurement(record.time_ms(), &mut self.rng);
+            self.clock.advance(record.cost_s);
+            m
+        };
         self.unique += 1;
         self.memo.insert(*s, measured);
         measured
@@ -180,6 +292,9 @@ impl Evaluator for SimEvaluator {
     }
 
     fn evaluate_batch(&mut self, batch: &[Setting]) -> Vec<f64> {
+        if batch.is_empty() {
+            return Vec::new();
+        }
         self.prefetch(batch);
         // Serial commit in canonical input order: rng draws and clock
         // charges happen exactly as in the plain evaluate loop.
@@ -196,6 +311,10 @@ impl Evaluator for SimEvaluator {
 
     fn unique_evaluations(&self) -> u64 {
         self.unique
+    }
+
+    fn fault_stats(&self) -> FaultStats {
+        self.fault_stats
     }
 
     fn random_valid(&mut self) -> Setting {
@@ -315,5 +434,139 @@ mod tests {
         let measured = e.evaluate(&s);
         let model = e.sim().kernel_time_ms(&s);
         assert!((measured / model - 1.0).abs() < 0.1, "{measured} vs {model}");
+    }
+
+    #[test]
+    fn empty_batch_is_an_explicit_empty_result() {
+        let mut e = eval();
+        let out = e.evaluate_batch(&[]);
+        assert!(out.is_empty());
+        assert_eq!(e.clock().now_s(), 0.0, "empty batch must not charge the clock");
+        assert_eq!(e.unique_evaluations(), 0, "empty batch must not count evaluations");
+        assert_eq!(e.fault_stats(), FaultStats::default());
+    }
+
+    #[test]
+    fn zero_probability_profile_is_bit_identical_to_fault_free() {
+        // Both profiles are pinned explicitly so this holds even under the
+        // CI fault leg, where CST_FAULT_SEED makes `new()` default hostile.
+        // The zeroed profile keeps aggressive non-probability knobs to prove
+        // they are inert when no fault can ever be drawn.
+        let mut plain = eval().with_fault_profile(FaultProfile::off());
+        let zero_probs = FaultProfile {
+            seed: 0xdead_beef,
+            max_retries: 9,
+            backoff_base_s: 9.9,
+            outlier_cap: 64.0,
+            ..FaultProfile::off()
+        };
+        let mut zeroed = eval().with_fault_profile(zero_probs);
+        let batch: Vec<Setting> = (0..64).map(|_| plain.random_valid()).collect();
+        // Re-sync the witness rng: random_valid above advanced plain's.
+        for _ in 0..64 {
+            zeroed.random_valid();
+        }
+        for s in &batch {
+            assert_eq!(plain.evaluate(s), zeroed.evaluate(s));
+        }
+        assert_eq!(plain.clock().now_s(), zeroed.clock().now_s());
+        assert!(!zeroed.fault_stats().any());
+        assert_eq!(zeroed.quarantined_count(), 0);
+    }
+
+    #[test]
+    fn faulty_runs_are_deterministic_and_never_panic() {
+        let profile = FaultProfile::hostile(11);
+        let run = || {
+            let mut e = eval().with_fault_profile(profile);
+            let batch: Vec<Setting> = (0..128).map(|_| e.random_valid()).collect();
+            let times = e.evaluate_batch(&batch);
+            (times, e.clock().now_s(), e.fault_stats(), e.quarantined_count())
+        };
+        let (t1, c1, s1, q1) = run();
+        let (t2, c2, s2, q2) = run();
+        assert_eq!(
+            t1.iter().map(|t| t.to_bits()).collect::<Vec<_>>(),
+            t2.iter().map(|t| t.to_bits()).collect::<Vec<_>>()
+        );
+        assert_eq!(c1.to_bits(), c2.to_bits());
+        assert_eq!(s1, s2);
+        assert_eq!(q1, q2);
+        assert!(s1.failures() > 0, "hostile profile over 128 settings should fault: {s1:?}");
+        assert!(t1.iter().all(|t| t.is_finite() || *t == f64::INFINITY));
+    }
+
+    #[test]
+    fn retries_charge_backoff_and_fault_time_to_the_clock() {
+        // A profile that always fails compile quarantines every setting
+        // after max_retries, charging 0.5·cost per attempt plus backoff.
+        let profile = FaultProfile {
+            p_compile: 1.0,
+            p_outlier: 0.0,
+            max_retries: 2,
+            ..FaultProfile::hostile(5)
+        };
+        let mut e = eval().with_fault_profile(profile);
+        let s = Setting::baseline();
+        let cost = e.sim().evaluate_full(&s).cost_s;
+        let t = e.evaluate(&s);
+        assert_eq!(t, f64::INFINITY);
+        assert!(e.is_quarantined(&s));
+        let stats = e.fault_stats();
+        assert_eq!(stats.compile_errors, 3, "1 attempt + 2 retries");
+        assert_eq!(stats.retries, 2);
+        assert_eq!(stats.quarantined, 1);
+        let want = 3.0 * 0.5 * cost + profile.backoff_s(0) + profile.backoff_s(1);
+        assert!((e.clock().now_s() - want).abs() < 1e-12, "{} vs {want}", e.clock().now_s());
+        // The quarantined measurement is memoized: a repeat is free.
+        let before = e.clock().now_s();
+        assert_eq!(e.evaluate(&s), f64::INFINITY);
+        assert_eq!(e.clock().now_s(), before);
+    }
+
+    #[test]
+    fn reset_clears_fault_state_but_keeps_profile() {
+        let profile = FaultProfile { p_compile: 1.0, ..FaultProfile::hostile(5) };
+        let mut e = eval().with_fault_profile(profile);
+        e.evaluate(&Setting::baseline());
+        assert!(e.fault_stats().any());
+        assert_eq!(e.quarantined_count(), 1);
+        e.reset(3, None);
+        assert!(!e.fault_stats().any());
+        assert_eq!(e.quarantined_count(), 0);
+        assert_eq!(*e.fault_profile(), profile, "profile is config, not session state");
+    }
+
+    #[test]
+    fn outliers_inflate_measurements_but_only_successes() {
+        let profile = FaultProfile {
+            p_compile: 0.0,
+            p_launch: 0.0,
+            p_timeout: 0.0,
+            p_outlier: 0.5,
+            outlier_cap: 20.0,
+            ..FaultProfile::hostile(13)
+        };
+        let mut faulty = eval().with_fault_profile(profile);
+        let mut clean = eval().with_fault_profile(FaultProfile::off());
+        let batch: Vec<Setting> = (0..64).map(|_| faulty.random_valid()).collect();
+        for _ in 0..64 {
+            clean.random_valid();
+        }
+        let mut inflated = 0;
+        for s in &batch {
+            let f = faulty.evaluate(s);
+            let c = clean.evaluate(s);
+            assert!(f >= c, "outliers can only inflate: {f} < {c}");
+            if f > c {
+                inflated += 1;
+                assert!(f / c <= 20.0 + 1e-9, "cap violated: {}", f / c);
+            }
+        }
+        assert_eq!(faulty.fault_stats().outliers as usize, inflated);
+        assert!(inflated > 0, "p_outlier=0.5 over 64 settings should inflate some");
+        // The clock charge is unchanged — outliers are timer artifacts,
+        // not longer runs.
+        assert_eq!(faulty.clock().now_s().to_bits(), clean.clock().now_s().to_bits());
     }
 }

@@ -36,6 +36,7 @@ pub mod sampling;
 pub mod search;
 
 pub use batch::{BatchEvaluator, BatchStats};
+pub use cst_gpu_sim::{FaultKind, FaultProfile, FaultStats};
 pub use dataset::{DatasetRecord, PerfDataset};
 pub use evaluator::{Evaluator, SimEvaluator};
 pub use grouping::{group_from_dataset, group_parameters, is_partition, pairwise_cv, PairCv};

@@ -7,6 +7,7 @@ use crate::metric_comb::{combine_metrics, select_representatives};
 use crate::sampling::{sample_space, SampledSpace, SamplingConfig};
 use crate::search::{evolutionary_search, SearchConfig};
 use cst_ga::GaConfig;
+use cst_gpu_sim::FaultStats;
 use cst_space::Setting;
 use std::time::Instant;
 
@@ -58,6 +59,9 @@ pub struct TuningOutcome {
     /// Host-side pre-processing breakdown (zero for baselines without a
     /// pre-processing stage).
     pub preproc: PreprocBreakdown,
+    /// Per-stage failure/retry counters from the measurement path
+    /// (all-zero on a fault-free testbed).
+    pub faults: FaultStats,
 }
 
 impl TuningOutcome {
@@ -256,6 +260,7 @@ impl Tuner for CsTuner {
             evaluations: eval.unique_evaluations(),
             search_s: eval.clock().now_s(),
             preproc: PreprocBreakdown { grouping_s, sampling_s, codegen_s },
+            faults: eval.fault_stats(),
         })
     }
 }
@@ -323,6 +328,7 @@ mod tests {
             evaluations: 0,
             search_s: 16.0,
             preproc: PreprocBreakdown::default(),
+            faults: FaultStats::default(),
         };
         assert_eq!(out.best_at_iteration(0), None);
         assert_eq!(out.best_at_iteration(2), Some(8.0));

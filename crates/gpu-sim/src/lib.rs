@@ -18,6 +18,9 @@
 //!   non-spilled parameter settings are explored", §IV-B).
 //! - [`clock`]: the virtual wall clock that charges per-evaluation compile
 //!   and run costs, enabling faithful iso-time comparisons (§V-C).
+//! - [`fault`]: deterministic fault injection (compile errors, launch
+//!   failures, timeouts, heavy-tailed timing outliers) so the measurement
+//!   path can be hardened and tested against a hostile testbed.
 //!
 //! See DESIGN.md for why this substitution preserves the behaviour the
 //! tuner depends on: a rugged, biased performance landscape, genuine
@@ -26,6 +29,7 @@
 pub mod arch;
 pub mod clock;
 pub mod cost;
+pub mod fault;
 pub mod footprint;
 pub mod memo;
 pub mod metrics;
@@ -35,6 +39,7 @@ pub mod valid;
 pub use arch::GpuArch;
 pub use clock::VirtualClock;
 pub use cost::CostBreakdown;
+pub use fault::{FaultKind, FaultProfile, FaultStats};
 pub use footprint::{Footprint, ModelParams};
 pub use memo::{EvalRecord, SimMemo};
 pub use metrics::{MetricsReport, METRIC_NAMES, N_METRICS};

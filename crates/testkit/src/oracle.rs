@@ -1,0 +1,185 @@
+//! Differential oracles: two implementations that must agree to the bit.
+//!
+//! Each oracle runs the same workload down two code paths that the
+//! engine promises are observationally identical — memoized vs
+//! unmemoized simulator, batched vs serial evaluator, zero-probability
+//! faults vs fault-free, same-seed run vs rerun — and compares the
+//! results as *bits* (`f64::to_bits`), not approximately. Any divergence
+//! returns `Err` with the first mismatching site, so a regression
+//! pinpoints itself.
+
+use cst_gpu_sim::{FaultProfile, GpuArch, GpuSim};
+use cst_space::Setting;
+use cst_stencil::StencilSpec;
+use cstuner_core::{Evaluator, FaultStats, SimEvaluator};
+
+use crate::gen::{raw_settings, valid_settings};
+
+/// Compare two f64 sequences bit-for-bit.
+fn bits_equal(label: &str, a: &[f64], b: &[f64]) -> Result<(), String> {
+    if a.len() != b.len() {
+        return Err(format!("{label}: length {} vs {}", a.len(), b.len()));
+    }
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        if x.to_bits() != y.to_bits() {
+            return Err(format!(
+                "{label}[{i}]: {x} ({:016x}) vs {y} ({:016x})",
+                x.to_bits(),
+                y.to_bits()
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn stats_equal(a: FaultStats, b: FaultStats) -> Result<(), String> {
+    if a != b {
+        return Err(format!("fault stats diverged: {a:?} vs {b:?}"));
+    }
+    Ok(())
+}
+
+/// Oracle: the simulator's sharded memo is transparent — a memoized and
+/// an unmemoized [`GpuSim`] produce bit-identical records (times, clock
+/// charges, resource verdicts) for the same settings, including repeats.
+pub fn memo_transparency(
+    spec: &StencilSpec,
+    arch: &GpuArch,
+    seed: u64,
+    n: usize,
+) -> Result<(), String> {
+    let memoized = GpuSim::new(spec.clone(), arch.clone());
+    let bare = GpuSim::new(spec.clone(), arch.clone()).without_memo();
+    let mut batch = raw_settings(&cst_space::OptSpace::for_stencil(spec), seed, n);
+    // Repeats exercise the memo-hit path against a fresh computation.
+    let dups: Vec<Setting> = batch.iter().take(n / 4).copied().collect();
+    batch.extend(dups);
+    let (mut ta, mut tb, mut ca, mut cb) = (Vec::new(), Vec::new(), Vec::new(), Vec::new());
+    for s in &batch {
+        let ra = memoized.evaluate_full(s);
+        let rb = bare.evaluate_full(s);
+        if ra.resource_ok() != rb.resource_ok() {
+            return Err(format!("resource verdict diverged for {s:?}"));
+        }
+        ta.push(ra.time_ms());
+        tb.push(rb.time_ms());
+        ca.push(ra.cost_s);
+        cb.push(rb.cost_s);
+    }
+    bits_equal("time_ms", &ta, &tb)?;
+    bits_equal("cost_s", &ca, &cb)
+}
+
+/// Oracle: [`SimEvaluator::evaluate_batch`] (parallel prefetch + serial
+/// commit) is bit-identical to a plain `evaluate` loop — same times, same
+/// clock trajectory, same evaluation counts, same fault counters — under
+/// any fault profile.
+pub fn batch_vs_serial(
+    spec: &StencilSpec,
+    arch: &GpuArch,
+    seed: u64,
+    profile: FaultProfile,
+    n: usize,
+) -> Result<(), String> {
+    let mut batched =
+        SimEvaluator::new(spec.clone(), arch.clone(), seed).with_fault_profile(profile);
+    let mut serial = batched.clone();
+    let mut batch = valid_settings(batched.valid_space(), seed, n);
+    let dups: Vec<Setting> = batch.iter().take(n / 4).copied().collect();
+    batch.extend(dups);
+    let tb = batched.evaluate_batch(&batch);
+    let ts: Vec<f64> = batch.iter().map(|s| serial.evaluate(s)).collect();
+    bits_equal("batch vs serial times", &tb, &ts)?;
+    bits_equal("clock", &[batched.clock().now_s()], &[serial.clock().now_s()])?;
+    if batched.unique_evaluations() != serial.unique_evaluations() {
+        return Err(format!(
+            "unique evaluations diverged: {} vs {}",
+            batched.unique_evaluations(),
+            serial.unique_evaluations()
+        ));
+    }
+    stats_equal(batched.fault_stats(), serial.fault_stats())
+}
+
+/// Oracle: a *zero-probability* fault profile (any seed, any retry
+/// policy) is bit-identical to [`FaultProfile::off`] — enabling the fault
+/// machinery without giving it probability mass must change nothing.
+pub fn zero_fault_transparency(
+    spec: &StencilSpec,
+    arch: &GpuArch,
+    seed: u64,
+    n: usize,
+) -> Result<(), String> {
+    let off =
+        SimEvaluator::new(spec.clone(), arch.clone(), seed).with_fault_profile(FaultProfile::off());
+    let zeroed_profile = FaultProfile {
+        seed: 0xdead_beef,
+        max_retries: 7,
+        backoff_base_s: 9.9,
+        outlier_cap: 64.0,
+        ..FaultProfile::off()
+    };
+    let zeroed =
+        SimEvaluator::new(spec.clone(), arch.clone(), seed).with_fault_profile(zeroed_profile);
+    let mut a = off;
+    let mut b = zeroed;
+    let batch = valid_settings(a.valid_space(), seed, n);
+    let ta: Vec<f64> = batch.iter().map(|s| a.evaluate(s)).collect();
+    let tbv: Vec<f64> = batch.iter().map(|s| b.evaluate(s)).collect();
+    bits_equal("zero-probability vs fault-free times", &ta, &tbv)?;
+    bits_equal("clock", &[a.clock().now_s()], &[b.clock().now_s()])?;
+    stats_equal(a.fault_stats(), FaultStats::default())?;
+    stats_equal(b.fault_stats(), FaultStats::default())
+}
+
+/// Oracle: with a fixed (evaluator seed, fault profile), two runs of the
+/// same workload are bit-identical — times, clock, counters — however
+/// hostile the profile.
+pub fn fault_run_determinism(
+    spec: &StencilSpec,
+    arch: &GpuArch,
+    seed: u64,
+    profile: FaultProfile,
+    n: usize,
+) -> Result<(), String> {
+    let run = || {
+        let mut e = SimEvaluator::new(spec.clone(), arch.clone(), seed).with_fault_profile(profile);
+        let batch = valid_settings(e.valid_space(), seed, n);
+        let times = e.evaluate_batch(&batch);
+        (times, e.clock().now_s(), e.fault_stats(), e.quarantined_count())
+    };
+    let (t1, c1, s1, q1) = run();
+    let (t2, c2, s2, q2) = run();
+    bits_equal("times across reruns", &t1, &t2)?;
+    bits_equal("clock", &[c1], &[c2])?;
+    stats_equal(s1, s2)?;
+    if q1 != q2 {
+        return Err(format!("quarantine count diverged: {q1} vs {q2}"));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cst_stencil::suite;
+
+    #[test]
+    fn oracles_hold_on_a_reference_stencil() {
+        let spec = suite::spec_by_name("j3d7pt").unwrap();
+        let arch = GpuArch::a100();
+        memo_transparency(&spec, &arch, 1, 24).unwrap();
+        batch_vs_serial(&spec, &arch, 1, FaultProfile::off(), 24).unwrap();
+        batch_vs_serial(&spec, &arch, 1, FaultProfile::hostile(3), 24).unwrap();
+        zero_fault_transparency(&spec, &arch, 1, 24).unwrap();
+        fault_run_determinism(&spec, &arch, 1, FaultProfile::hostile(5), 24).unwrap();
+    }
+
+    #[test]
+    fn bits_equal_reports_first_divergence() {
+        let err = bits_equal("t", &[1.0, 2.0], &[1.0, 2.0 + 1e-12]).unwrap_err();
+        assert!(err.starts_with("t[1]"), "{err}");
+        assert!(bits_equal("t", &[f64::INFINITY], &[f64::INFINITY]).is_ok());
+        assert!(bits_equal("t", &[1.0], &[1.0, 2.0]).is_err());
+    }
+}

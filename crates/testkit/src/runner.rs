@@ -1,0 +1,98 @@
+//! A small programmatic property-test runner.
+//!
+//! The vendored `proptest!` macro covers the common "N cases of this
+//! strategy" shape; this runner is its function-call twin for tests that
+//! need to thread extra context through the property, run the same
+//! property over several strategies, or report domain-specific context on
+//! failure. Cases are generated from a deterministic rng keyed by the
+//! runner's name, so a failure reproduces by re-running the same test.
+
+use proptest::{Strategy, TestRng};
+
+/// Deterministic property runner: `cases` inputs from a strategy, a
+/// property returning `Err(reason)` to fail.
+pub struct PropRunner {
+    name: String,
+    cases: u32,
+}
+
+impl PropRunner {
+    /// A runner keyed by `name` (the rng seed — use the test's name).
+    pub fn new(name: &str) -> Self {
+        PropRunner { name: name.to_string(), cases: 64 }
+    }
+
+    /// Override the number of generated cases (default 64).
+    pub fn cases(self, cases: u32) -> Self {
+        assert!(cases > 0);
+        PropRunner { cases, ..self }
+    }
+
+    /// Run the property over `cases` generated inputs. Panics on the
+    /// first failing case with its index and the property's reason; the
+    /// rng is keyed by the runner name, so the same call generates the
+    /// same cases every run.
+    pub fn run<S, F>(&self, strategy: &S, mut property: F)
+    where
+        S: Strategy,
+        S::Value: std::fmt::Debug,
+        F: FnMut(S::Value) -> Result<(), String>,
+    {
+        let mut rng = TestRng::for_test(&self.name);
+        for case in 0..self.cases {
+            let value = strategy.generate(&mut rng);
+            let shown = format!("{value:?}");
+            if let Err(reason) = property(value) {
+                panic!(
+                    "property `{}` failed at case {case}/{}:\n  input: {shown}\n  reason: {reason}",
+                    self.name, self.cases
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let mut seen = 0u32;
+        PropRunner::new("passing").cases(40).run(&(0u32..100), |x| {
+            seen += 1;
+            if x < 100 {
+                Ok(())
+            } else {
+                Err(format!("{x} out of range"))
+            }
+        });
+        assert_eq!(seen, 40);
+    }
+
+    #[test]
+    fn cases_are_deterministic_per_name() {
+        let collect = |name: &str| {
+            let mut v = Vec::new();
+            PropRunner::new(name).cases(16).run(&(0u64..1_000_000), |x| {
+                v.push(x);
+                Ok(())
+            });
+            v
+        };
+        assert_eq!(collect("det"), collect("det"));
+        assert_ne!(collect("det"), collect("other-name"));
+    }
+
+    #[test]
+    #[should_panic(expected = "property `failing` failed at case")]
+    fn failing_property_panics_with_case_context() {
+        PropRunner::new("failing").cases(16).run(&(0u32..8), |x| {
+            if x < 6 {
+                Ok(())
+            } else {
+                Err("too big".to_string())
+            }
+        });
+    }
+}

@@ -1,0 +1,129 @@
+//! Determinism under faults at experiment scale: a forced multi-lane
+//! worker pool plus a nonzero fault profile must still produce
+//! byte-identical `--quick`-style experiment output across two runs with
+//! the same seeds, and no search driver may panic or deadlock on a
+//! hostile — even totally failing — testbed.
+//!
+//! This binary owns its process environment: it forces the pool width
+//! before first use, so it must stay the only test file that does so.
+
+use cst_bench::runners::TunerKind;
+use cst_gpu_sim::{FaultProfile, GpuArch};
+use cst_stencil::suite;
+use cst_testkit::hex_bits;
+use cstuner_core::{Evaluator, SimEvaluator};
+use rayon::prelude::*;
+use std::fmt::Write as _;
+
+/// Force a multi-lane pool even on single-CPU hosts, before its first
+/// use anywhere in this binary. `CST_FORCE_LANES` takes precedence over
+/// everything, so an ambient `RAYON_NUM_THREADS=1` cannot serialize us.
+fn force_parallel_lanes() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        if std::env::var_os("CST_FORCE_LANES").is_none() {
+            std::env::set_var("CST_FORCE_LANES", "4");
+        }
+        assert!(rayon::current_num_threads() > 1, "pool must be multi-lane");
+    });
+}
+
+/// One `--quick`-scale iso-iteration sweep (stencils × tuners × seeds)
+/// with an explicit nonzero fault profile, run on the parallel pool, and
+/// formatted as a deterministic byte-exact report: only seed-derived
+/// quantities (virtual times, bit-exact measurements, counters) appear —
+/// never wall-clock.
+fn faulty_quick_sweep(fault_seed: u64) -> String {
+    let stencils = ["j3d7pt", "cheby"];
+    let kinds = [
+        TunerKind::CsTuner,
+        TunerKind::Garvey,
+        TunerKind::OpenTuner,
+        TunerKind::Artemis,
+        TunerKind::Random,
+    ];
+    let mut jobs = Vec::new();
+    for stencil in stencils {
+        for kind in kinds {
+            for seed in 0..2u64 {
+                jobs.push((stencil, kind, seed));
+            }
+        }
+    }
+    let mut lines: Vec<String> = jobs
+        .par_iter()
+        .map(|&(stencil, kind, seed)| {
+            let spec = suite::spec_by_name(stencil).unwrap();
+            let mut eval = SimEvaluator::new(spec, GpuArch::a100(), seed)
+                .with_fault_profile(FaultProfile::hostile(fault_seed));
+            let mut tuner = kind.build(4);
+            let out = tuner.tune(&mut eval, seed).expect("tuning must survive a hostile testbed");
+            let f = out.faults;
+            let mut line = String::new();
+            let _ = write!(
+                line,
+                "{stencil}/{}/{seed}: best={} evals={} search={} faults={}/{}/{}/{} retries={} quarantined={} curve=",
+                kind.name(),
+                hex_bits(out.best_time_ms),
+                out.evaluations,
+                hex_bits(out.search_s),
+                f.compile_errors,
+                f.launch_failures,
+                f.timeouts,
+                f.outliers,
+                f.retries,
+                f.quarantined,
+            );
+            for p in &out.curve {
+                let _ = write!(line, "({},{},{})", p.iteration, hex_bits(p.elapsed_s), hex_bits(p.best_ms));
+            }
+            line
+        })
+        .collect();
+    // Canonical order: the report must not depend on pool scheduling.
+    lines.sort();
+    lines.join("\n")
+}
+
+#[test]
+fn quick_sweep_is_byte_identical_across_runs_under_faults() {
+    force_parallel_lanes();
+    let a = faulty_quick_sweep(7);
+    let b = faulty_quick_sweep(7);
+    assert_eq!(a, b, "same seeds + same fault profile must reproduce byte-identically");
+    assert!(
+        a.lines().any(|l| !l.contains("faults=0/0/0/0")),
+        "the hostile profile should actually inject faults:\n{a}"
+    );
+    // And the fault seed must matter — otherwise injection is dead code.
+    assert_ne!(a, faulty_quick_sweep(8));
+}
+
+#[test]
+fn all_drivers_survive_a_totally_failing_testbed() {
+    force_parallel_lanes();
+    // Every measurement attempt fails: the only acceptable outcomes are a
+    // clean error (nothing measurable) — never a panic or a hang. The
+    // budget bounds the run: every failed attempt still charges the
+    // virtual clock.
+    let total_failure = FaultProfile { p_compile: 1.0, ..FaultProfile::hostile(3) };
+    let spec = suite::spec_by_name("j3d7pt").unwrap();
+    for kind in [
+        TunerKind::CsTuner,
+        TunerKind::Garvey,
+        TunerKind::OpenTuner,
+        TunerKind::Artemis,
+        TunerKind::Random,
+    ] {
+        let mut eval = SimEvaluator::with_budget(spec.clone(), GpuArch::a100(), 1, 30.0)
+            .with_fault_profile(total_failure);
+        let mut tuner = kind.build(4);
+        let result = tuner.tune(&mut eval, 1);
+        assert!(
+            result.is_err(),
+            "{}: a testbed where nothing runs cannot produce a best setting",
+            kind.name()
+        );
+        assert!(eval.fault_stats().failures() > 0, "{}: no faults recorded", kind.name());
+    }
+}

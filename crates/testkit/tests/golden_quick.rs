@@ -1,0 +1,33 @@
+//! Golden-trace regression fixtures for `--quick`-scale tuning runs.
+//!
+//! Each trace renders every float as its exact bit pattern, so these
+//! tests pin the entire numeric behaviour of the model + search pipeline
+//! for a fixed seed: any unintended drift — in the cost model, the rng
+//! streams, the fault charges, the search order — shows up as a one-line
+//! fixture diff. After an *intentional* change, re-bless with
+//! `CST_BLESS=1 cargo test -p cst-testkit --test golden_quick`.
+
+use cst_gpu_sim::{FaultProfile, GpuArch};
+use cst_testkit::{check_golden, quick_tune_trace, TraceOptions};
+
+#[test]
+fn quick_tune_j3d7pt_a100_is_pinned() {
+    let trace = quick_tune_trace("j3d7pt", &GpuArch::a100(), &TraceOptions::default());
+    check_golden("quick_tune_j3d7pt_a100", &trace);
+}
+
+#[test]
+fn quick_tune_cheby_v100_is_pinned() {
+    let opts = TraceOptions { seed: 3, ..Default::default() };
+    let trace = quick_tune_trace("cheby", &GpuArch::v100(), &opts);
+    check_golden("quick_tune_cheby_v100", &trace);
+}
+
+#[test]
+fn quick_tune_under_hostile_faults_is_pinned() {
+    // The faulty path is as deterministic as the clean one: retries,
+    // backoff charges and quarantines are part of the pinned trace.
+    let opts = TraceOptions { seed: 1, profile: FaultProfile::hostile(7), ..Default::default() };
+    let trace = quick_tune_trace("j3d7pt", &GpuArch::a100(), &opts);
+    check_golden("quick_tune_j3d7pt_a100_hostile", &trace);
+}

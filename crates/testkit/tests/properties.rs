@@ -1,0 +1,66 @@
+//! Property tests over the testkit's own generators: domain invariants
+//! that every downstream consumer (GA, search, baselines) relies on.
+
+use cst_gpu_sim::FaultProfile;
+use cst_space::{OptSpace, ParamId};
+use cst_testkit::{arb_fault_profile, arb_setting, PropRunner};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Canonicalization is idempotent: a canonical setting re-canonicalizes
+    /// to itself, so generator output can be hashed/memoized safely.
+    #[test]
+    fn canonicalize_is_idempotent(s in arb_setting([512, 512, 512])) {
+        let space = OptSpace::for_grid([512, 512, 512]);
+        let mut again = s;
+        space.canonicalize(&mut again);
+        prop_assert_eq!(again, s);
+    }
+
+    /// Generated settings only take values from each parameter's live
+    /// value list (the explicit space of Table I).
+    #[test]
+    fn generated_settings_stay_on_the_value_lattice(s in arb_setting([256, 256, 512])) {
+        let space = OptSpace::for_grid([256, 256, 512]);
+        for p in ParamId::ALL {
+            prop_assert!(
+                space.values(p).contains(&s.get(p)),
+                "{:?} = {} not in the live list", p, s.get(p)
+            );
+        }
+    }
+
+    /// Fault decisions are pure functions of (profile, setting, attempt):
+    /// re-deciding never flips, and the zero-probability profile never
+    /// faults regardless of seed.
+    #[test]
+    fn fault_decisions_are_stable(s in arb_setting([512, 512, 512]), p in arb_fault_profile()) {
+        for attempt in 0..3u32 {
+            prop_assert_eq!(p.decide(&s, attempt), p.decide(&s, attempt));
+            let f = p.outlier_factor(&s, attempt);
+            prop_assert_eq!(f.to_bits(), p.outlier_factor(&s, attempt).to_bits());
+            prop_assert!(f >= 1.0 && f <= p.outlier_cap.max(1.0));
+        }
+        let zeroed = FaultProfile { p_compile: 0.0, p_launch: 0.0, p_timeout: 0.0, p_outlier: 0.0, ..p };
+        prop_assert!(!zeroed.is_active());
+        prop_assert_eq!(zeroed.decide(&s, 0), None);
+        prop_assert_eq!(zeroed.outlier_factor(&s, 0), 1.0);
+    }
+}
+
+/// The backoff schedule is monotone non-decreasing in the attempt index —
+/// retries never get cheaper, so quarantine is always reached in bounded
+/// virtual time.
+#[test]
+fn backoff_is_monotone_for_generated_profiles() {
+    PropRunner::new("backoff-monotone").cases(128).run(&arb_fault_profile(), |p| {
+        for a in 0..20u32 {
+            if p.backoff_s(a + 1) < p.backoff_s(a) {
+                return Err(format!("backoff({}) < backoff({a}) for {p:?}", a + 1));
+            }
+        }
+        Ok(())
+    });
+}

@@ -27,19 +27,22 @@ thread_local! {
     static IN_POOL: Cell<bool> = const { Cell::new(false) };
 }
 
-/// Number of worker threads: `RAYON_NUM_THREADS` if set and nonzero,
+/// Number of worker threads: `CST_FORCE_LANES` if set and nonzero (the
+/// test/CI override — it wins even over an explicit `RAYON_NUM_THREADS`,
+/// so a forced-multi-lane matrix leg cannot be accidentally serialized by
+/// the ambient environment), else `RAYON_NUM_THREADS` if set and nonzero,
 /// else the machine's available parallelism. Read once and cached — the
 /// persistent pool's size is fixed at first use, so later env changes
 /// must not desynchronize the serial fast-path check from the pool.
 fn thread_count() -> usize {
     static N: OnceLock<usize> = OnceLock::new();
     *N.get_or_init(|| {
-        if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
-            if let Ok(n) = v.trim().parse::<usize>() {
-                if n > 0 {
-                    return n;
-                }
-            }
+        let parse = |v: String| v.trim().parse::<usize>().ok().filter(|&n| n > 0);
+        if let Some(n) = std::env::var("CST_FORCE_LANES").ok().and_then(parse) {
+            return n;
+        }
+        if let Some(n) = std::env::var("RAYON_NUM_THREADS").ok().and_then(parse) {
+            return n;
         }
         std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
     })
