@@ -11,6 +11,7 @@
 use crate::common::Recorder;
 use cst_space::{ParamId, Setting};
 use cst_stencil::StencilClass;
+use cst_telemetry::Telemetry;
 use cstuner_core::{Evaluator, TuneError, Tuner, TuningOutcome};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -95,9 +96,18 @@ impl Tuner for ArtemisTuner {
     }
 
     fn tune(&mut self, eval: &mut dyn Evaluator, seed: u64) -> Result<TuningOutcome, TuneError> {
+        self.tune_with_telemetry(eval, seed, &Telemetry::noop())
+    }
+
+    fn tune_with_telemetry(
+        &mut self,
+        eval: &mut dyn Evaluator,
+        seed: u64,
+        tel: &Telemetry,
+    ) -> Result<TuningOutcome, TuneError> {
         let high = high_impact_params(eval.spec().class);
         let base = Setting::baseline();
-        let mut rec = Recorder::new(self.pop, self.max_iterations);
+        let mut rec = Recorder::new(self.pop, self.max_iterations).with_telemetry(tel);
         let mut rng = StdRng::seed_from_u64(seed ^ 0x0a87_e315);
 
         // Phase 1: the expert's coarse high-impact sweep. Rather than the

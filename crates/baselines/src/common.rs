@@ -1,6 +1,7 @@
 //! Shared bookkeeping for baseline tuners.
 
 use cst_space::Setting;
+use cst_telemetry::{event, Telemetry};
 use cstuner_core::{CurvePoint, Evaluator, PreprocBreakdown, TuneError, TuningOutcome};
 
 /// Batches evaluations into iterations of `pop` and records the
@@ -16,6 +17,7 @@ pub struct Recorder {
     best_setting: Option<Setting>,
     curve: Vec<CurvePoint>,
     max_iterations: u32,
+    tel: Telemetry,
 }
 
 impl Recorder {
@@ -30,7 +32,16 @@ impl Recorder {
             best_setting: None,
             curve: Vec::new(),
             max_iterations,
+            tel: Telemetry::noop(),
         }
+    }
+
+    /// Attach a telemetry handle: every curve point this recorder pushes
+    /// is mirrored as an `iteration` journal event, so baseline journals
+    /// line up with csTuner's convergence records.
+    pub fn with_telemetry(mut self, tel: &Telemetry) -> Self {
+        self.tel = tel.clone();
+        self
     }
 
     /// Evaluate a setting through the evaluator, update the incumbent, and
@@ -55,6 +66,13 @@ impl Recorder {
                 elapsed_s: eval.clock().now_s(),
                 best_ms: self.best_ms,
             });
+            event!(
+                self.tel,
+                "iteration",
+                iteration = self.iteration,
+                v_s = eval.clock().now_s(),
+                best_ms = self.best_ms,
+            );
         }
         t
     }
@@ -102,6 +120,13 @@ impl Recorder {
                 elapsed_s: eval.clock().now_s(),
                 best_ms: self.best_ms,
             });
+            event!(
+                self.tel,
+                "iteration",
+                iteration = self.iteration,
+                v_s = eval.clock().now_s(),
+                best_ms = self.best_ms,
+            );
         }
         let best_setting = self.best_setting.ok_or(TuneError::BudgetTooSmall)?;
         if !self.best_ms.is_finite() {

@@ -14,6 +14,7 @@
 use crate::common::Recorder;
 use cst_ml::{RandomForest, RandomForestConfig};
 use cst_space::{ParamId, Setting};
+use cst_telemetry::Telemetry;
 use cstuner_core::{Evaluator, PerfDataset, TuneError, Tuner, TuningOutcome};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -71,6 +72,15 @@ impl Tuner for GarveyTuner {
     }
 
     fn tune(&mut self, eval: &mut dyn Evaluator, seed: u64) -> Result<TuningOutcome, TuneError> {
+        self.tune_with_telemetry(eval, seed, &Telemetry::noop())
+    }
+
+    fn tune_with_telemetry(
+        &mut self,
+        eval: &mut dyn Evaluator,
+        seed: u64,
+        tel: &Telemetry,
+    ) -> Result<TuningOutcome, TuneError> {
         let mut rng = StdRng::seed_from_u64(seed ^ 0x6a2_7e1);
         // Offline: dataset for the memory-type forest (like csTuner's
         // dataset, not charged to the tuning clock).
@@ -116,7 +126,7 @@ impl Tuner for GarveyTuner {
 
         // Iterative per-group exhaustive search over *randomly* sampled
         // group combinations.
-        let mut rec = Recorder::new(self.pop, self.max_iterations);
+        let mut rec = Recorder::new(self.pop, self.max_iterations).with_telemetry(tel);
         rec.measure(eval, base);
         for group in dimension_groups() {
             if rec.done(eval) {

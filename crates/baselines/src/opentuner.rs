@@ -12,6 +12,7 @@
 use crate::common::Recorder;
 use cst_ga::{GaConfig, GaState, Genome};
 use cst_space::{ParamId, Setting, N_PARAMS};
+use cst_telemetry::Telemetry;
 use cstuner_core::{Evaluator, TuneError, Tuner, TuningOutcome};
 
 /// The OpenTuner-like baseline.
@@ -51,12 +52,22 @@ impl Tuner for OpenTunerGa {
     }
 
     fn tune(&mut self, eval: &mut dyn Evaluator, seed: u64) -> Result<TuningOutcome, TuneError> {
+        self.tune_with_telemetry(eval, seed, &Telemetry::noop())
+    }
+
+    fn tune_with_telemetry(
+        &mut self,
+        eval: &mut dyn Evaluator,
+        seed: u64,
+        tel: &Telemetry,
+    ) -> Result<TuningOutcome, TuneError> {
         let cards: Vec<u32> =
             ParamId::ALL.iter().map(|&p| eval.space().values(p).len() as u32).collect();
         assert_eq!(cards.len(), N_PARAMS);
         let pop = self.ga.n_islands * self.ga.pop_per_island;
-        let mut rec = Recorder::new(pop, self.max_iterations);
+        let mut rec = Recorder::new(pop, self.max_iterations).with_telemetry(tel);
         let mut state = GaState::new(Genome::new(cards), self.ga, seed);
+        state.set_telemetry(tel);
         // OpenTuner starts from the user's default configuration and its
         // manipulators only produce well-formed configurations; seed the
         // population with compilable settings accordingly.

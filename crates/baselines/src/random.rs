@@ -1,6 +1,7 @@
 //! Uniform random search over valid settings.
 
 use crate::common::Recorder;
+use cst_telemetry::Telemetry;
 use cstuner_core::{Evaluator, TuneError, Tuner, TuningOutcome};
 
 /// The sanity-floor baseline: draw valid settings uniformly and keep the
@@ -24,8 +25,17 @@ impl Tuner for RandomSearch {
         "Random"
     }
 
-    fn tune(&mut self, eval: &mut dyn Evaluator, _seed: u64) -> Result<TuningOutcome, TuneError> {
-        let mut rec = Recorder::new(self.pop, self.max_iterations);
+    fn tune(&mut self, eval: &mut dyn Evaluator, seed: u64) -> Result<TuningOutcome, TuneError> {
+        self.tune_with_telemetry(eval, seed, &Telemetry::noop())
+    }
+
+    fn tune_with_telemetry(
+        &mut self,
+        eval: &mut dyn Evaluator,
+        _seed: u64,
+        tel: &Telemetry,
+    ) -> Result<TuningOutcome, TuneError> {
+        let mut rec = Recorder::new(self.pop, self.max_iterations).with_telemetry(tel);
         // One population per chunk: draws stay on the evaluator's rng
         // stream, then the chunk is prefetched and measured in order.
         while !rec.done(eval) {

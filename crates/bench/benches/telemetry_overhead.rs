@@ -1,0 +1,55 @@
+//! Telemetry overhead on the evaluation hot path.
+//!
+//! The telemetry contract promises that the disabled (noop) handle costs
+//! nothing measurable on the hot path — every counter/event call must
+//! early-return before allocating. This bench pins that promise: the
+//! same evaluation loop runs with the noop handle, with an in-memory
+//! journal, and with a live JSONL file sink. The noop column must stay
+//! within 5% of the untelemetered baseline (BENCH_eval.json records the
+//! measured numbers).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use cst_gpu_sim::GpuArch;
+use cst_space::Setting;
+use cst_stencil::suite;
+use cst_telemetry::Telemetry;
+use cstuner_core::{Evaluator, SimEvaluator};
+use std::hint::black_box;
+
+fn population(seed: u64, n: usize) -> (SimEvaluator, Vec<Setting>) {
+    let spec = suite::spec_by_name("rhs4center").unwrap();
+    let mut drawer = SimEvaluator::new(spec.clone(), GpuArch::a100(), seed);
+    let pop: Vec<Setting> = (0..n).map(|_| drawer.random_valid()).collect();
+    (SimEvaluator::new(spec, GpuArch::a100(), seed), pop)
+}
+
+fn bench_telemetry_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("telemetry-overhead");
+    g.sample_size(20);
+    let n = 64usize;
+    let run = |tel: Telemetry| {
+        move |b: &mut criterion::Bencher| {
+            b.iter_batched(
+                || {
+                    let (mut e, pop) = population(9, n);
+                    e.set_telemetry(&tel);
+                    (e, pop)
+                },
+                |(mut e, pop)| {
+                    let out: Vec<f64> = pop.iter().map(|s| e.evaluate(s)).collect();
+                    black_box(out)
+                },
+                BatchSize::SmallInput,
+            )
+        }
+    };
+    g.bench_function("eval64/noop", run(Telemetry::noop()));
+    g.bench_function("eval64/in_memory", run(Telemetry::in_memory()));
+    let path = std::env::temp_dir().join("cst_telemetry_overhead_bench.jsonl");
+    g.bench_function("eval64/jsonl", run(Telemetry::to_file(&path).expect("temp journal")));
+    let _ = std::fs::remove_file(&path);
+    g.finish();
+}
+
+criterion_group!(benches, bench_telemetry_overhead);
+criterion_main!(benches);

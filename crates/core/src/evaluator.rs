@@ -12,6 +12,7 @@ use cst_gpu_sim::{
 };
 use cst_space::{OptSpace, Setting};
 use cst_stencil::StencilSpec;
+use cst_telemetry::{event, Counter, Hist, Telemetry};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rayon::prelude::*;
@@ -119,6 +120,7 @@ pub struct SimEvaluator {
     faults: FaultProfile,
     fault_stats: FaultStats,
     quarantine: HashSet<Setting>,
+    tel: Telemetry,
 }
 
 impl SimEvaluator {
@@ -136,7 +138,17 @@ impl SimEvaluator {
             faults: FaultProfile::from_env().unwrap_or_else(FaultProfile::off),
             fault_stats: FaultStats::default(),
             quarantine: HashSet::new(),
+            tel: Telemetry::noop(),
         }
+    }
+
+    /// Attach a telemetry handle: the measurement path then maintains the
+    /// evaluation/memo/fault counters and emits `quarantine` records.
+    /// Counters are updated only on the serial commit path (never from
+    /// `prefetch`), so an attached journal stays deterministic. The
+    /// default is the noop handle.
+    pub fn set_telemetry(&mut self, tel: &Telemetry) {
+        self.tel = tel.clone();
     }
 
     /// Build with an iso-time budget in seconds.
@@ -210,6 +222,7 @@ impl SimEvaluator {
                     let outlier = self.faults.outlier_factor(s, attempt);
                     if outlier > 1.0 {
                         self.fault_stats.outliers += 1;
+                        self.tel.add(Counter::FaultOutliers, 1);
                         m *= outlier;
                     }
                     self.clock.advance(record.cost_s);
@@ -217,6 +230,14 @@ impl SimEvaluator {
                 }
                 Some(kind) => {
                     self.fault_stats.record(kind);
+                    self.tel.add(
+                        match kind {
+                            FaultKind::CompileError => Counter::FaultCompile,
+                            FaultKind::LaunchFailure => Counter::FaultLaunch,
+                            FaultKind::Timeout => Counter::FaultTimeout,
+                        },
+                        1,
+                    );
                     // A failed attempt still costs real time, by the stage
                     // it died at: a compile error skips the run entirely, a
                     // launch failure pays compile plus setup, a timeout
@@ -230,9 +251,20 @@ impl SimEvaluator {
                     if attempt >= self.faults.max_retries {
                         self.fault_stats.quarantined += 1;
                         self.quarantine.insert(*s);
+                        self.tel.add(Counter::FaultQuarantined, 1);
+                        if self.tel.enabled() {
+                            let label = format!("{s:?}");
+                            event!(
+                                self.tel,
+                                "quarantine",
+                                setting = &label,
+                                v_s = self.clock.now_s()
+                            );
+                        }
                         return f64::INFINITY;
                     }
                     self.fault_stats.retries += 1;
+                    self.tel.add(Counter::FaultRetries, 1);
                     self.clock.advance(self.faults.backoff_s(attempt));
                     attempt += 1;
                 }
@@ -255,9 +287,12 @@ impl Evaluator for SimEvaluator {
     }
 
     fn evaluate(&mut self, s: &Setting) -> f64 {
+        self.tel.add(Counter::EvalsAttempted, 1);
         if let Some(&t) = self.memo.get(s) {
+            self.tel.add(Counter::MemoHits, 1);
             return t;
         }
+        self.tel.add(Counter::MemoMisses, 1);
         // One model evaluation yields both the measured time and the clock
         // charge (the old path recomputed the footprint for each).
         let record = self.valid.sim().evaluate_full(s);
@@ -270,6 +305,8 @@ impl Evaluator for SimEvaluator {
         };
         self.unique += 1;
         self.memo.insert(*s, measured);
+        self.tel.add(Counter::EvalsCommitted, 1);
+        self.tel.observe(Hist::EvalTimeMs, measured);
         measured
     }
 

@@ -42,6 +42,7 @@ pub use evaluator::{Evaluator, SimEvaluator};
 pub use grouping::{group_from_dataset, group_parameters, is_partition, pairwise_cv, PairCv};
 pub use metric_comb::{combine_metrics, select_representatives};
 pub use pipeline::{
-    CsTuner, CsTunerConfig, CurvePoint, PreprocBreakdown, TuneError, Tuner, TuningOutcome,
+    journal_outcome, CsTuner, CsTunerConfig, CurvePoint, PreprocBreakdown, TuneError, Tuner,
+    TuningOutcome,
 };
 pub use sampling::{sample_space, SampledSpace, SamplingConfig};

@@ -9,7 +9,7 @@ use crate::search::{evolutionary_search, SearchConfig};
 use cst_ga::GaConfig;
 use cst_gpu_sim::FaultStats;
 use cst_space::Setting;
-use std::time::Instant;
+use cst_telemetry::{event, Telemetry};
 
 /// One point of a tuning convergence curve.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -23,6 +23,13 @@ pub struct CurvePoint {
 }
 
 /// Host-side pre-processing cost breakdown (Fig. 12).
+///
+/// The stage costs are *modeled* on the virtual clock — a deterministic
+/// function of the work done (dataset records, model fits, candidates
+/// scored, source bytes generated) — rather than measured host wall time,
+/// so the Fig. 12 fractions are bit-reproducible across hosts and load.
+/// The constants are calibrated so a full-scale run lands near the
+/// paper's §V-F observation (pre-processing ≈ 0.76% of search).
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct PreprocBreakdown {
     /// Parameter grouping (CV computation + Algorithm 1), seconds.
@@ -108,6 +115,35 @@ pub trait Tuner {
     /// virtual clock carries the iso-time budget; `seed` controls all
     /// stochastic choices.
     fn tune(&mut self, eval: &mut dyn Evaluator, seed: u64) -> Result<TuningOutcome, TuneError>;
+
+    /// [`Tuner::tune`] with a telemetry handle: instrumented tuners
+    /// journal their stages, iterations and counters through `tel`.
+    /// The default ignores the handle and runs the plain `tune`, so
+    /// un-instrumented tuners remain valid implementations and journals
+    /// they appear in simply carry fewer records.
+    fn tune_with_telemetry(
+        &mut self,
+        eval: &mut dyn Evaluator,
+        seed: u64,
+        tel: &Telemetry,
+    ) -> Result<TuningOutcome, TuneError> {
+        let _ = tel;
+        self.tune(eval, seed)
+    }
+}
+
+/// Emit the `outcome` journal record summarizing a finished tuning run
+/// (used by the CLI and by multi-tuner drivers such as the shootout
+/// example, so per-tuner journals stay comparable).
+pub fn journal_outcome(tel: &Telemetry, out: &TuningOutcome) {
+    event!(
+        tel,
+        "outcome",
+        tuner = out.tuner,
+        best_ms = out.best_time_ms,
+        evaluations = out.evaluations,
+        search_s = out.search_s
+    );
 }
 
 /// Full csTuner configuration (§V-A defaults).
@@ -193,31 +229,65 @@ impl Tuner for CsTuner {
     }
 
     fn tune(&mut self, eval: &mut dyn Evaluator, seed: u64) -> Result<TuningOutcome, TuneError> {
-        // Offline: the performance dataset (not charged to the clock).
-        let dataset = PerfDataset::collect(eval, self.cfg.dataset_size, seed);
+        self.tune_with_telemetry(eval, seed, &Telemetry::noop())
+    }
 
-        // Pre-processing stage 1: parameter grouping.
-        let t = Instant::now();
-        let groups = if self.cfg.flat_grouping {
+    fn tune_with_telemetry(
+        &mut self,
+        eval: &mut dyn Evaluator,
+        seed: u64,
+        tel: &Telemetry,
+    ) -> Result<TuningOutcome, TuneError> {
+        // Offline: the performance dataset (not charged to the clock).
+        let sp = tel.span("dataset", eval.clock().now_s());
+        let dataset = PerfDataset::collect(eval, self.cfg.dataset_size, seed);
+        let records = dataset.records.len();
+        sp.end_with_cost(eval.clock().now_s(), 0.0);
+        event!(tel, "dataset", records = records, v_s = eval.clock().now_s());
+
+        // Pre-processing stage 1: parameter grouping. Cost model: one CV
+        // computation per parameter pair over the whole dataset.
+        let sp = tel.span("grouping", eval.clock().now_s());
+        let groups: Vec<Vec<cst_space::ParamId>> = if self.cfg.flat_grouping {
             cst_space::ParamId::ALL.iter().map(|&p| vec![p]).collect()
         } else {
             group_from_dataset(&dataset)
         };
-        let grouping_s = t.elapsed().as_secs_f64();
+        let n_params = cst_space::ParamId::ALL.len();
+        let pairs = (n_params * (n_params - 1) / 2) as f64;
+        let grouping_s = pairs * records as f64 * 4e-6;
+        sp.end_with_cost(eval.clock().now_s(), grouping_s);
+        if tel.enabled() {
+            let rendered: Vec<String> = groups
+                .iter()
+                .map(|g| {
+                    let names: Vec<&str> = g.iter().map(|p| p.name()).collect();
+                    format!("[{}]", names.join(","))
+                })
+                .collect();
+            let rendered = rendered.concat();
+            event!(tel, "groups", n_groups = groups.len(), groups = &rendered);
+        }
 
-        // Pre-processing stage 2: metric combination + PMNF sampling.
-        let t = Instant::now();
+        // Pre-processing stage 2: metric combination + PMNF sampling. Cost
+        // model: each PMNF fit is a least-squares solve over the dataset,
+        // plus a constant per candidate combination scored by the cut.
+        let sp = tel.span("sampling", eval.clock().now_s());
         let reps = select_representatives(
             &dataset,
             &combine_metrics(&dataset, self.cfg.n_metric_collections),
         );
-        let sampled = sample_space(&dataset, &groups, &reps, eval, &self.cfg.sampling);
-        let sampling_s = t.elapsed().as_secs_f64();
+        let sampled = sample_space(&dataset, &groups, &reps, eval, &self.cfg.sampling, tel);
+        let fits = (sampled.models.len() + 1) as f64; // metric models + time model
+        let sampling_s = fits * records as f64 * 2e-4 + sampled.scored as f64 * 2e-5;
+        sp.end_with_cost(eval.clock().now_s(), sampling_s);
 
         // Pre-processing stage 3: generate CUDA sources for the sampled
-        // settings (bounded; §V-F measures this stage's share).
-        let t = Instant::now();
+        // settings (bounded; §V-F measures this stage's share). Cost model:
+        // proportional to the source bytes emitted.
+        let sp = tel.span("codegen", eval.clock().now_s());
         let mut generated_bytes = 0usize;
+        let mut generated_kernels = 0usize;
         if let Some(kernel) = cst_stencil::kernel_by_name(eval.spec().name) {
             let mut left = self.cfg.codegen_cap;
             'outer: for (k, combos) in sampled.combos.iter().enumerate() {
@@ -231,11 +301,14 @@ impl Tuner for CsTuner {
                     }
                     let src = cst_codegen::generate_cuda(&kernel, &s);
                     generated_bytes += src.code.len();
+                    generated_kernels += 1;
                     left -= 1;
                 }
             }
         }
-        let codegen_s = t.elapsed().as_secs_f64().max(generated_bytes as f64 * 1e-12);
+        let codegen_s = generated_bytes as f64 * 2e-7;
+        sp.end_with_cost(eval.clock().now_s(), codegen_s);
+        event!(tel, "codegen", kernels = generated_kernels, bytes = generated_bytes);
 
         // Search stage (virtual clock).
         if eval.expired() {
@@ -247,7 +320,9 @@ impl Tuner for CsTuner {
             cv_threshold: self.cfg.cv_threshold,
             max_iterations: self.cfg.max_iterations,
         };
-        let result = evolutionary_search(eval, &sampled, &search_cfg, seed);
+        let sp = tel.span("search", eval.clock().now_s());
+        let result = evolutionary_search(eval, &sampled, &search_cfg, seed, tel);
+        sp.end(eval.clock().now_s());
         self.last_sampled = Some(sampled);
         if !result.best_ms.is_finite() {
             return Err(TuneError::EmptySpace);

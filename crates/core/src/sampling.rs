@@ -14,6 +14,7 @@ use crate::dataset::PerfDataset;
 use crate::evaluator::Evaluator;
 use cst_space::{ParamId, Setting};
 use cst_stats::{fit_pmnf, mean, std_dev, PmnfModel};
+use cst_telemetry::{event, Counter, Hist, Telemetry};
 
 /// One fitted metric model with its sampling weight.
 #[derive(Debug, Clone)]
@@ -54,6 +55,10 @@ pub struct SampledSpace {
     /// Per-group impact: spread (std) of the predicted-slowness scores over
     /// the group's candidates. High-impact groups are tuned first.
     pub impact: Vec<f64>,
+    /// Candidate combinations scored by the cut, summed over groups (an
+    /// observability count; also drives the virtual pre-processing cost
+    /// model of the Fig. 12 breakdown).
+    pub scored: u64,
 }
 
 impl SampledSpace {
@@ -172,6 +177,7 @@ pub fn sample_space(
     representatives: &[(usize, f64)],
     eval: &dyn Evaluator,
     cfg: &SamplingConfig,
+    tel: &Telemetry,
 ) -> SampledSpace {
     assert!(!groups.is_empty(), "need parameter groups");
     assert!((0.0..=1.0).contains(&cfg.ratio) && cfg.ratio > 0.0, "ratio in (0, 1]");
@@ -196,6 +202,9 @@ pub fn sample_space(
         .map(|&(metric, time_pcc)| {
             let y = dataset.metric_column(metric);
             let model = fit_pmnf(&xs, &y, &group_indices, &cfg.i_range, &cfg.j_range);
+            tel.add(Counter::PmnfFits, 1);
+            tel.observe(Hist::PmnfRse, model.rse);
+            event!(tel, "pmnf_fit", target = cst_gpu_sim::METRIC_NAMES[metric], rse = model.rse);
             MetricModel { metric, model, time_pcc, mu: mean(&y), sigma: std_dev(&y).max(1e-9) }
         })
         .collect();
@@ -203,6 +212,9 @@ pub fn sample_space(
     // the least-squares fit from being dominated by the slowest settings).
     let log_times: Vec<f64> = dataset.times().iter().map(|t| t.max(1e-6).ln()).collect();
     let time_model = fit_pmnf(&xs, &log_times, &group_indices, &cfg.i_range, &cfg.j_range);
+    tel.add(Counter::PmnfFits, 1);
+    tel.observe(Hist::PmnfRse, time_model.rse);
+    event!(tel, "pmnf_fit", target = "log_time_ms", rse = time_model.rse);
     let time_mu = mean(&log_times);
     let time_sigma = std_dev(&log_times).max(1e-9);
 
@@ -228,7 +240,8 @@ pub fn sample_space(
     }
     let mut combos = Vec::with_capacity(groups.len());
     let mut impact = Vec::with_capacity(groups.len());
-    for group in groups {
+    let mut scored_total = 0u64;
+    for (group_idx, group) in groups.iter().enumerate() {
         let candidates = space.enumerate_group_repaired(&base, group, cfg.enum_limit);
         // Score each candidate by the models' predicted slowness — in the
         // *base context* with the combo applied and repaired, since that is
@@ -298,6 +311,21 @@ pub fn sample_space(
         // Re-index ascending (Fig. 7) and dedupe.
         kept.sort();
         kept.dedup();
+        scored_total += all_scores.len() as u64;
+        tel.add(Counter::SamplesAccepted, kept.len() as u64);
+        tel.add(Counter::SamplesRejected, (all_scores.len().saturating_sub(kept.len())) as u64);
+        if tel.enabled() {
+            let params: Vec<&str> = group.iter().map(|p| p.name()).collect();
+            let params = params.join(",");
+            event!(
+                tel,
+                "sampling_group",
+                group = group_idx,
+                params = &params,
+                candidates = all_scores.len(),
+                kept = kept.len()
+            );
+        }
         combos.push(kept);
     }
     SampledSpace {
@@ -309,6 +337,7 @@ pub fn sample_space(
         time_sigma,
         base,
         impact,
+        scored: scored_total,
     }
 }
 
@@ -327,7 +356,7 @@ mod tests {
         let groups = group_from_dataset(&ds);
         let reps = select_representatives(&ds, &combine_metrics(&ds, 4));
         let cfg = SamplingConfig { ratio, ..Default::default() };
-        let sampled = sample_space(&ds, &groups, &reps, &e, &cfg);
+        let sampled = sample_space(&ds, &groups, &reps, &e, &cfg, &Telemetry::noop());
         (sampled, e)
     }
 

@@ -16,6 +16,7 @@ use crate::sampling::SampledSpace;
 use cst_ga::{GaConfig, GaState, Genome, IslandGa};
 use cst_space::Setting;
 use cst_stats::coefficient_of_variation;
+use cst_telemetry::{event, Telemetry};
 
 /// Fraction of the remaining time budget granted to the joint GA phase
 /// before the iterative per-group refinement takes over.
@@ -73,6 +74,7 @@ pub fn evolutionary_search(
     sampled: &SampledSpace,
     cfg: &SearchConfig,
     seed: u64,
+    tel: &Telemetry,
 ) -> SearchResult {
     let cards = sampled.cards();
     let pop_total = cfg.ga.n_islands * cfg.ga.pop_per_island;
@@ -102,7 +104,9 @@ pub fn evolutionary_search(
             if evals_in_iter >= pop_total {
                 evals_in_iter = 0;
                 iteration += 1;
-                curve.push(CurvePoint { iteration, elapsed_s: eval.clock().now_s(), best_ms });
+                let elapsed_s = eval.clock().now_s();
+                curve.push(CurvePoint { iteration, elapsed_s, best_ms });
+                event!(tel, "iteration", iteration = iteration, v_s = elapsed_s, best_ms = best_ms);
             }
             t
         }};
@@ -167,6 +171,7 @@ pub fn evolutionary_search(
         let open_groups: Vec<usize> = order.clone();
         let genome = Genome::new(cards.clone());
         let mut state = GaState::new(genome, cfg.ga, seed);
+        state.set_telemetry(tel);
         // Seed with the incumbent so the GA starts from a known-good point.
         state.seed_with(std::slice::from_ref(&base_genes));
         // Approximation cursor: the next open group to pin.
@@ -208,7 +213,9 @@ pub fn evolutionary_search(
             // real hardware too).
             evals_in_iter = 0;
             iteration += 1;
-            curve.push(CurvePoint { iteration, elapsed_s: eval.clock().now_s(), best_ms });
+            let elapsed_s = eval.clock().now_s();
+            curve.push(CurvePoint { iteration, elapsed_s, best_ms });
+            event!(tel, "iteration", iteration = iteration, v_s = elapsed_s, best_ms = best_ms);
             // A population that bred no unevaluated setting has converged
             // in practice; stalling twice force-pins the cursor group so
             // the search narrows instead of spinning.
@@ -225,6 +232,13 @@ pub fn evolutionary_search(
                 let g = open_groups[cursor];
                 let pin = state.best().map(|b| b.genes[g]).unwrap_or(base_genes[g]);
                 state.freeze(g, pin);
+                event!(
+                    tel,
+                    "group_pinned",
+                    group = g,
+                    iteration = iteration,
+                    v_s = eval.clock().now_s()
+                );
                 cursor += 1;
                 stalled = 0;
             }
@@ -311,7 +325,9 @@ pub fn evolutionary_search(
     // Flush a trailing partial iteration so short runs still have a curve.
     if evals_in_iter > 0 || curve.is_empty() {
         iteration += 1;
-        curve.push(CurvePoint { iteration, elapsed_s: eval.clock().now_s(), best_ms });
+        let elapsed_s = eval.clock().now_s();
+        curve.push(CurvePoint { iteration, elapsed_s, best_ms });
+        event!(tel, "iteration", iteration = iteration, v_s = elapsed_s, best_ms = best_ms);
     }
 
     SearchResult { best_setting, best_ms, curve, iterations: iteration }
@@ -368,7 +384,8 @@ mod tests {
         let ds = PerfDataset::collect(&mut e, 48, seed);
         let groups = group_from_dataset(&ds);
         let reps = select_representatives(&ds, &combine_metrics(&ds, 4));
-        let sampled = sample_space(&ds, &groups, &reps, &e, &SamplingConfig::default());
+        let sampled =
+            sample_space(&ds, &groups, &reps, &e, &SamplingConfig::default(), &Telemetry::noop());
         (sampled, e)
     }
 
@@ -377,7 +394,7 @@ mod tests {
         let (sampled, mut e) = setup("j3d7pt", 5, None);
         let incumbent = e.sim().kernel_time_ms(&sampled.base);
         let cfg = SearchConfig { max_iterations: 30, ..Default::default() };
-        let r = evolutionary_search(&mut e, &sampled, &cfg, 5);
+        let r = evolutionary_search(&mut e, &sampled, &cfg, 5, &Telemetry::noop());
         assert!(r.best_ms.is_finite());
         assert!(r.best_ms <= incumbent * 1.05, "{} vs incumbent {}", r.best_ms, incumbent);
         assert!(!r.curve.is_empty());
@@ -387,7 +404,7 @@ mod tests {
     fn curve_is_monotone_nonincreasing() {
         let (sampled, mut e) = setup("cheby", 7, None);
         let cfg = SearchConfig { max_iterations: 20, ..Default::default() };
-        let r = evolutionary_search(&mut e, &sampled, &cfg, 7);
+        let r = evolutionary_search(&mut e, &sampled, &cfg, 7, &Telemetry::noop());
         for w in r.curve.windows(2) {
             assert!(w[1].best_ms <= w[0].best_ms);
             assert!(w[1].elapsed_s >= w[0].elapsed_s);
@@ -399,7 +416,7 @@ mod tests {
     fn iso_time_budget_is_respected() {
         let (sampled, mut e) = setup("hypterm", 9, Some(40.0));
         let cfg = SearchConfig::default();
-        let r = evolutionary_search(&mut e, &sampled, &cfg, 9);
+        let r = evolutionary_search(&mut e, &sampled, &cfg, 9, &Telemetry::noop());
         // The clock may overshoot by at most one evaluation's cost.
         assert!(e.clock().now_s() < 40.0 + 10.0, "clock {}", e.clock().now_s());
         assert!(r.best_ms.is_finite());
@@ -409,7 +426,7 @@ mod tests {
     fn iteration_cap_is_respected() {
         let (sampled, mut e) = setup("j3d27pt", 11, None);
         let cfg = SearchConfig { max_iterations: 5, ..Default::default() };
-        let r = evolutionary_search(&mut e, &sampled, &cfg, 11);
+        let r = evolutionary_search(&mut e, &sampled, &cfg, 11, &Telemetry::noop());
         assert!(r.iterations <= 6, "iterations {}", r.iterations);
     }
 
@@ -417,7 +434,7 @@ mod tests {
     fn best_setting_is_valid_and_matches_best_ms() {
         let (sampled, mut e) = setup("addsgd4", 13, None);
         let cfg = SearchConfig { max_iterations: 15, ..Default::default() };
-        let r = evolutionary_search(&mut e, &sampled, &cfg, 13);
+        let r = evolutionary_search(&mut e, &sampled, &cfg, 13, &Telemetry::noop());
         assert!(e.is_valid(&r.best_setting));
         // Re-evaluating the best setting reproduces the memoized time.
         assert_eq!(e.evaluate(&r.best_setting), r.best_ms);
@@ -428,7 +445,7 @@ mod tests {
         let run = |seed| {
             let (sampled, mut e) = setup("helmholtz", seed, None);
             let cfg = SearchConfig { max_iterations: 10, ..Default::default() };
-            evolutionary_search(&mut e, &sampled, &cfg, seed).best_ms
+            evolutionary_search(&mut e, &sampled, &cfg, seed, &Telemetry::noop()).best_ms
         };
         assert_eq!(run(21), run(21));
     }

@@ -87,9 +87,11 @@ fn evolutionary_search_is_bit_identical_serial_vs_parallel() {
                 let ds = PerfDataset::collect(&mut e, 48, seed);
                 let groups = group_from_dataset(&ds);
                 let reps = select_representatives(&ds, &combine_metrics(&ds, 4));
-                let sampled = sample_space(&ds, &groups, &reps, &e, &SamplingConfig::default());
+                let tel = cst_telemetry::Telemetry::noop();
+                let sampled =
+                    sample_space(&ds, &groups, &reps, &e, &SamplingConfig::default(), &tel);
                 let cfg = SearchConfig { max_iterations: 10, ..Default::default() };
-                let r = evolutionary_search(&mut e, &sampled, &cfg, seed);
+                let r = evolutionary_search(&mut e, &sampled, &cfg, seed, &tel);
                 (
                     r.best_setting,
                     r.best_ms,

@@ -1,6 +1,7 @@
 //! The island engine: neighborhood breeding, ring migration, two drivers.
 
 use crate::genome::{Genome, Individual};
+use cst_telemetry::{event, Counter, Telemetry};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
@@ -53,6 +54,7 @@ pub struct GaState {
     evaluations: u64,
     best: Option<Individual>,
     frozen: Vec<Option<u32>>,
+    tel: Telemetry,
 }
 
 /// Result summary of a GA run.
@@ -80,7 +82,25 @@ impl GaState {
             })
             .collect();
         let frozen = vec![None; genome.len()];
-        GaState { genome, cfg, islands, generation: 0, evaluations: 0, best: None, frozen }
+        GaState {
+            genome,
+            cfg,
+            islands,
+            generation: 0,
+            evaluations: 0,
+            best: None,
+            frozen,
+            tel: Telemetry::noop(),
+        }
+    }
+
+    /// Attach a telemetry handle: each [`GaState::step_batched`] then
+    /// emits a `ga_gen` record with the per-island best-fitness
+    /// trajectory. Telemetry-carrying callers report fitness as negated
+    /// milliseconds, so the record's `best_ms`/`island_best` fields are
+    /// the negated fitnesses. The default is the noop handle.
+    pub fn set_telemetry(&mut self, tel: &Telemetry) {
+        self.tel = tel.clone();
     }
 
     /// Freeze gene `d` to `value` across the whole population: every
@@ -186,6 +206,23 @@ impl GaState {
         // Migrate best individuals around the single ring.
         if self.cfg.n_islands > 1 && self.generation.is_multiple_of(self.cfg.migration_interval) {
             self.migrate();
+        }
+        self.tel.add(Counter::GaGenerations, 1);
+        if self.tel.enabled() {
+            let island_best: Vec<f64> = self
+                .islands
+                .iter()
+                .map(|isl| -isl.pop.iter().map(|i| i.fitness).fold(f64::NEG_INFINITY, f64::max))
+                .collect();
+            let best_ms = self.best.as_ref().map(|b| -b.fitness).unwrap_or(f64::NAN);
+            event!(
+                self.tel,
+                "ga_gen",
+                gen = self.generation,
+                evaluations = self.evaluations,
+                best_ms = best_ms,
+                island_best = &island_best
+            );
         }
     }
 

@@ -41,7 +41,7 @@ pub use clock::VirtualClock;
 pub use cost::CostBreakdown;
 pub use fault::{FaultKind, FaultProfile, FaultStats};
 pub use footprint::{Footprint, ModelParams};
-pub use memo::{EvalRecord, SimMemo};
+pub use memo::{EvalRecord, MemoStats, SimMemo};
 pub use metrics::{MetricsReport, METRIC_NAMES, N_METRICS};
 pub use sim::{noisy_measurement, GpuSim};
 pub use valid::{Invalid, ValidSpace};

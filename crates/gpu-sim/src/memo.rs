@@ -11,6 +11,7 @@ use crate::cost::CostBreakdown;
 use crate::footprint::Footprint;
 use cst_space::Setting;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
 /// Everything the tuner needs about one setting, computed once: the
@@ -47,11 +48,30 @@ const N_SHARDS: usize = 16;
 /// model itself.
 pub struct SimMemo {
     shards: [RwLock<HashMap<Setting, Arc<EvalRecord>>>; N_SHARDS],
+    // Relaxed monitoring counters, NOT part of the determinism contract:
+    // under parallel prefetch the hit/miss split depends on thread timing,
+    // so these feed dashboards and logs only — never the run journal,
+    // whose memo counters come from the evaluator's serial commit path.
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// Snapshot of [`SimMemo`]'s monitoring counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MemoStats {
+    /// Lookups served from a shard.
+    pub hits: u64,
+    /// Lookups that computed a fresh record.
+    pub misses: u64,
 }
 
 impl Default for SimMemo {
     fn default() -> Self {
-        SimMemo { shards: std::array::from_fn(|_| RwLock::new(HashMap::new())) }
+        SimMemo {
+            shards: std::array::from_fn(|_| RwLock::new(HashMap::new())),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
     }
 }
 
@@ -80,7 +100,12 @@ impl SimMemo {
 
     /// Cached record, if present.
     pub fn get(&self, s: &Setting) -> Option<Arc<EvalRecord>> {
-        self.shards[shard_index(s)].read().unwrap().get(s).cloned()
+        let found = self.shards[shard_index(s)].read().unwrap().get(s).cloned();
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
     }
 
     /// Cached record, computing and inserting via `compute` on a miss.
@@ -94,11 +119,23 @@ impl SimMemo {
     ) -> Arc<EvalRecord> {
         let shard = &self.shards[shard_index(s)];
         if let Some(r) = shard.read().unwrap().get(s) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
             return r.clone();
         }
+        self.misses.fetch_add(1, Ordering::Relaxed);
         let fresh = Arc::new(compute());
         let mut w = shard.write().unwrap();
         w.entry(*s).or_insert(fresh).clone()
+    }
+
+    /// Monitoring counters: lookups served from cache vs computed fresh.
+    /// Racy-by-design under concurrent prefetch (relaxed atomics) — use
+    /// for observability, never for determinism-sensitive output.
+    pub fn stats(&self) -> MemoStats {
+        MemoStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
     }
 
     /// Number of memoized settings.
@@ -111,11 +148,13 @@ impl SimMemo {
         self.len() == 0
     }
 
-    /// Drop every cached record.
+    /// Drop every cached record and reset the monitoring counters.
     pub fn clear(&self) {
         for shard in &self.shards {
             shard.write().unwrap().clear();
         }
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
     }
 }
 
@@ -151,6 +190,22 @@ mod tests {
         assert_eq!(a.time_ms(), 2.0);
         assert!(Arc::ptr_eq(&a, &b));
         assert_eq!(memo.len(), 1);
+    }
+
+    #[test]
+    fn stats_track_hits_and_misses() {
+        let memo = SimMemo::new();
+        let s = Setting::baseline();
+        assert_eq!(memo.stats(), MemoStats::default());
+        assert!(memo.get(&s).is_none());
+        memo.get_or_insert_with(&s, || dummy_record(1.0));
+        memo.get_or_insert_with(&s, || dummy_record(2.0));
+        let _ = memo.get(&s);
+        let stats = memo.stats();
+        assert_eq!(stats.misses, 2, "one get miss + one insert miss");
+        assert_eq!(stats.hits, 2, "one memoized insert + one get hit");
+        memo.clear();
+        assert_eq!(memo.stats(), MemoStats::default());
     }
 
     #[test]

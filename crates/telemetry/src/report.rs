@@ -1,0 +1,261 @@
+//! `cstuner report` — render a run journal into the human-readable
+//! summary the paper's figures are built from: per-stage virtual/wall
+//! cost breakdown, per-group convergence table, and fault/memo/GA
+//! counter summaries.
+
+use std::fmt::Write as _;
+
+use crate::json::{self, Value};
+use crate::schema;
+
+fn num(v: &Value, key: &str) -> Option<f64> {
+    v.get(key).and_then(Value::as_f64)
+}
+
+fn uint(v: &Value, key: &str) -> u64 {
+    v.get(key).and_then(Value::as_u64).unwrap_or(0)
+}
+
+/// Render a journal (one JSON record per line) to the report text.
+/// Validates the journal first, so a malformed line is an error, not a
+/// garbled table.
+pub fn render_report(lines: &[String]) -> Result<String, String> {
+    let summary = schema::validate_journal(lines)?;
+    let records: Vec<Value> = lines.iter().map(|l| json::parse(l).expect("validated")).collect();
+    let of_type = |ty: &str| -> Vec<&Value> {
+        records.iter().filter(|r| r.get("type").and_then(Value::as_str) == Some(ty)).collect()
+    };
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "run journal: schema {}, {} records, {} record types",
+        records[0].get("schema").and_then(Value::as_u64).unwrap_or(0),
+        summary.records,
+        summary.types_seen.len()
+    );
+
+    // Free-form run metadata, in emission order.
+    for meta in of_type("run_meta") {
+        if let Value::Obj(fields) = meta {
+            let rendered: Vec<String> = fields
+                .iter()
+                .filter(|(k, _)| k != "type" && k != "seq" && !k.starts_with("wall_"))
+                .map(|(k, v)| match v {
+                    Value::Str(s) => format!("{k}={s}"),
+                    Value::Num(n) if n.fract() == 0.0 && n.abs() < 1e15 => {
+                        format!("{k}={}", *n as i64)
+                    }
+                    Value::Num(n) => format!("{k}={n}"),
+                    Value::Bool(b) => format!("{k}={b}"),
+                    Value::Null => format!("{k}=null"),
+                    other => format!("{k}={other:?}"),
+                })
+                .collect();
+            if !rendered.is_empty() {
+                let _ = writeln!(out, "meta: {}", rendered.join(" "));
+            }
+        }
+    }
+
+    // Per-stage breakdown from span_end records, in completion order.
+    let spans = of_type("span_end");
+    if !spans.is_empty() {
+        let total: f64 = spans.iter().filter_map(|s| num(s, "v_cost_s")).sum();
+        let _ = writeln!(out);
+        let _ = writeln!(
+            out,
+            "{:<14} {:>12} {:>8} {:>12}",
+            "stage", "v-cost (s)", "share", "wall (ms)"
+        );
+        for s in &spans {
+            let name = s.get("name").and_then(Value::as_str).unwrap_or("?");
+            let cost = num(s, "v_cost_s").unwrap_or(0.0);
+            let share = if total > 0.0 { 100.0 * cost / total } else { 0.0 };
+            let wall = num(s, "wall_cost_ms")
+                .map(|w| format!("{w:.1}"))
+                .unwrap_or_else(|| "-".to_string());
+            let _ = writeln!(out, "{name:<14} {cost:>12.4} {share:>7.1}% {wall:>12}");
+        }
+        let _ = writeln!(out, "{:<14} {total:>12.4}", "total");
+    }
+
+    // Convergence: the best-so-far trajectory plus per-group pin points.
+    let iterations = of_type("iteration");
+    if !iterations.is_empty() {
+        let _ = writeln!(out);
+        let _ = writeln!(out, "convergence ({} iterations):", iterations.len());
+        let _ = writeln!(out, "  {:>4} {:>10} {:>12}", "it", "v_s", "best_ms");
+        for it in &iterations {
+            let best =
+                num(it, "best_ms").map(|b| format!("{b:.4}")).unwrap_or_else(|| "-".to_string());
+            let _ = writeln!(
+                out,
+                "  {:>4} {:>10.2} {best:>12}",
+                uint(it, "iteration"),
+                num(it, "v_s").unwrap_or(0.0)
+            );
+        }
+    }
+    let pins = of_type("group_pinned");
+    if !pins.is_empty() {
+        let _ = writeln!(out, "groups pinned:");
+        for p in &pins {
+            let _ = writeln!(
+                out,
+                "  group {} at iteration {} (v={:.2}s)",
+                uint(p, "group"),
+                uint(p, "iteration"),
+                num(p, "v_s").unwrap_or(0.0)
+            );
+        }
+    }
+
+    // Sampling: per-group keep ratios.
+    let sampled = of_type("sampling_group");
+    if !sampled.is_empty() {
+        let _ = writeln!(out);
+        let _ = writeln!(out, "sampling:");
+        for s in &sampled {
+            let _ = writeln!(
+                out,
+                "  group {} [{}]: kept {}/{} candidates",
+                uint(s, "group"),
+                s.get("params").and_then(Value::as_str).unwrap_or("?"),
+                uint(s, "kept"),
+                uint(s, "candidates")
+            );
+        }
+    }
+
+    // Counter summaries (the counters record is emitted once by finish()).
+    if let Some(c) = of_type("counters").first() {
+        let _ = writeln!(out);
+        let _ = writeln!(
+            out,
+            "evaluations: {} attempted, {} committed ({} memo hits / {} misses)",
+            uint(c, "evals_attempted"),
+            uint(c, "evals_committed"),
+            uint(c, "memo_hits"),
+            uint(c, "memo_misses")
+        );
+        let faults = uint(c, "fault_compile")
+            + uint(c, "fault_launch")
+            + uint(c, "fault_timeout")
+            + uint(c, "fault_outliers");
+        if faults > 0 || uint(c, "fault_retries") > 0 {
+            let _ = writeln!(
+                out,
+                "faults: {} compile, {} launch, {} timeout, {} outliers; {} retries, {} quarantined",
+                uint(c, "fault_compile"),
+                uint(c, "fault_launch"),
+                uint(c, "fault_timeout"),
+                uint(c, "fault_outliers"),
+                uint(c, "fault_retries"),
+                uint(c, "fault_quarantined")
+            );
+        } else {
+            let _ = writeln!(out, "faults: none");
+        }
+        let _ = writeln!(
+            out,
+            "search: {} GA generations; sampling kept {} / rejected {}; {} PMNF fits",
+            uint(c, "ga_generations"),
+            uint(c, "samples_accepted"),
+            uint(c, "samples_rejected"),
+            uint(c, "pmnf_fits")
+        );
+        if let Some(h) = c.get("hist_pmnf_rse") {
+            if uint(h, "count") > 0 {
+                let _ = writeln!(
+                    out,
+                    "pmnf rse: n={} mean={:.4} min={:.4} max={:.4}",
+                    uint(h, "count"),
+                    num(h, "sum").unwrap_or(0.0) / uint(h, "count") as f64,
+                    num(h, "min").unwrap_or(0.0),
+                    num(h, "max").unwrap_or(0.0)
+                );
+            }
+        }
+    }
+
+    // Outcome lines (the shootout example journals several tuners).
+    for o in of_type("outcome") {
+        let best =
+            num(o, "best_ms").map(|b| format!("{b:.4} ms")).unwrap_or_else(|| "-".to_string());
+        let _ = writeln!(
+            out,
+            "outcome: {} best {best} in {} evaluations ({:.1}s search)",
+            o.get("tuner").and_then(Value::as_str).unwrap_or("?"),
+            uint(o, "evaluations"),
+            num(o, "search_s").unwrap_or(0.0)
+        );
+    }
+
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{event, Telemetry};
+
+    fn sample_journal() -> Vec<String> {
+        let tel = Telemetry::in_memory();
+        tel.meta(&[
+            crate::Field::new("stencil", crate::FieldValue::Str("j3d7pt")),
+            crate::Field::new("seed", crate::FieldValue::U64(1)),
+        ]);
+        let sp = tel.span("sampling", 0.0);
+        sp.end_with_cost(0.0, 0.2);
+        let sp = tel.span("search", 0.0);
+        event!(
+            tel,
+            "sampling_group",
+            group = 0u32,
+            params = "bx,by",
+            candidates = 96u32,
+            kept = 24u32
+        );
+        event!(tel, "iteration", iteration = 1u32, v_s = 3.0, best_ms = 4.5);
+        event!(tel, "iteration", iteration = 2u32, v_s = 6.0, best_ms = 3.9);
+        event!(tel, "group_pinned", group = 0u32, iteration = 2u32, v_s = 6.0);
+        sp.end(9.5);
+        tel.add(crate::Counter::EvalsAttempted, 128);
+        tel.add(crate::Counter::EvalsCommitted, 120);
+        tel.add(crate::Counter::MemoHits, 8);
+        tel.finish(9.5);
+        tel.lines().unwrap()
+    }
+
+    #[test]
+    fn renders_all_sections() {
+        let text = render_report(&sample_journal()).unwrap();
+        assert!(text.contains("run journal: schema 1"));
+        assert!(text.contains("meta: stencil=j3d7pt"));
+        assert!(text.contains("sampling"));
+        assert!(text.contains("search"));
+        assert!(text.contains("convergence (2 iterations)"));
+        assert!(text.contains("group 0 at iteration 2"));
+        assert!(text.contains("kept 24/96 candidates"));
+        assert!(text.contains("128 attempted, 120 committed (8 memo hits"));
+        assert!(text.contains("faults: none"));
+    }
+
+    #[test]
+    fn report_rejects_invalid_journal() {
+        let bad = vec!["not json".to_string()];
+        assert!(render_report(&bad).is_err());
+    }
+
+    #[test]
+    fn report_is_deterministic_after_stripping() {
+        let lines = sample_journal();
+        let stripped: Vec<String> = lines.iter().map(|l| crate::strip_wall_fields(l)).collect();
+        let a = render_report(&stripped).unwrap();
+        let b = render_report(&stripped).unwrap();
+        assert_eq!(a, b);
+        // With wall fields stripped, the wall column renders as "-".
+        assert!(a.lines().any(|l| l.starts_with("search") && l.trim_end().ends_with('-')), "{a}");
+    }
+}

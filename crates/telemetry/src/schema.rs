@@ -1,0 +1,305 @@
+//! Versioned schema for the JSONL run-journal, plus a line-by-line
+//! validator. The schema is a closed set: every record type the pipeline
+//! emits is registered here with its required fields, so an unknown type
+//! or a missing/mistyped field is a validation error. CI pipes every
+//! journal it produces through [`validate_journal`].
+
+use crate::json::{self, Value};
+use crate::{Counter, Hist, SCHEMA_VERSION};
+
+/// Expected kind of a required field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FieldKind {
+    /// A JSON number.
+    Num,
+    /// A JSON number or `null` (non-finite floats serialize as `null`).
+    NumOrNull,
+    /// A JSON string.
+    Str,
+    /// A JSON array.
+    Arr,
+}
+
+impl FieldKind {
+    fn matches(self, v: &Value) -> bool {
+        match self {
+            FieldKind::Num => matches!(v, Value::Num(_)),
+            FieldKind::NumOrNull => matches!(v, Value::Num(_) | Value::Null),
+            FieldKind::Str => matches!(v, Value::Str(_)),
+            FieldKind::Arr => matches!(v, Value::Arr(_)),
+        }
+    }
+}
+
+/// Every record type of schema version [`SCHEMA_VERSION`] with its
+/// required fields. Records may carry extra fields (wall-clock fields,
+/// free-form metadata); required ones must be present and well-typed.
+pub const EVENT_TYPES: &[(&str, &[(&str, FieldKind)])] = &[
+    ("journal_start", &[("schema", FieldKind::Num), ("source", FieldKind::Str)]),
+    ("run_meta", &[]),
+    ("span_start", &[("name", FieldKind::Str), ("v_s", FieldKind::Num)]),
+    (
+        "span_end",
+        &[("name", FieldKind::Str), ("v_s", FieldKind::Num), ("v_cost_s", FieldKind::Num)],
+    ),
+    ("dataset", &[("records", FieldKind::Num), ("v_s", FieldKind::Num)]),
+    ("groups", &[("n_groups", FieldKind::Num), ("groups", FieldKind::Str)]),
+    ("pmnf_fit", &[("target", FieldKind::Str), ("rse", FieldKind::NumOrNull)]),
+    (
+        "sampling_group",
+        &[
+            ("group", FieldKind::Num),
+            ("params", FieldKind::Str),
+            ("candidates", FieldKind::Num),
+            ("kept", FieldKind::Num),
+        ],
+    ),
+    ("codegen", &[("kernels", FieldKind::Num), ("bytes", FieldKind::Num)]),
+    (
+        "iteration",
+        &[
+            ("iteration", FieldKind::Num),
+            ("v_s", FieldKind::Num),
+            ("best_ms", FieldKind::NumOrNull),
+        ],
+    ),
+    (
+        "group_pinned",
+        &[("group", FieldKind::Num), ("iteration", FieldKind::Num), ("v_s", FieldKind::Num)],
+    ),
+    (
+        "ga_gen",
+        &[
+            ("gen", FieldKind::Num),
+            ("evaluations", FieldKind::Num),
+            ("best_ms", FieldKind::NumOrNull),
+            ("island_best", FieldKind::Arr),
+        ],
+    ),
+    ("quarantine", &[("setting", FieldKind::Str), ("v_s", FieldKind::Num)]),
+    (
+        "outcome",
+        &[
+            ("tuner", FieldKind::Str),
+            ("best_ms", FieldKind::NumOrNull),
+            ("evaluations", FieldKind::Num),
+            ("search_s", FieldKind::Num),
+        ],
+    ),
+    // `counters` requires every registered counter and histogram; see
+    // `validate_counters`.
+    ("counters", &[("v_s", FieldKind::Num)]),
+    ("journal_end", &[("events", FieldKind::Num), ("v_s", FieldKind::Num)]),
+];
+
+/// Validate one journal line (any schema rule that applies to a single
+/// record). Returns the parsed record type.
+pub fn validate_line(line: &str) -> Result<String, String> {
+    let v = json::parse(line)?;
+    let Value::Obj(_) = v else {
+        return Err(format!("record is {}, expected object", v.kind()));
+    };
+    let ty = v
+        .get("type")
+        .and_then(Value::as_str)
+        .ok_or_else(|| "missing string field 'type'".to_string())?
+        .to_string();
+    v.get("seq")
+        .and_then(Value::as_u64)
+        .ok_or_else(|| format!("{ty}: missing integer field 'seq'"))?;
+    let (_, required) = EVENT_TYPES
+        .iter()
+        .find(|(t, _)| *t == ty)
+        .ok_or_else(|| format!("unknown record type '{ty}'"))?;
+    for (name, kind) in *required {
+        match v.get(name) {
+            None => return Err(format!("{ty}: missing field '{name}'")),
+            Some(val) if !kind.matches(val) => {
+                return Err(format!("{ty}: field '{name}' is {}, expected {kind:?}", val.kind()));
+            }
+            Some(_) => {}
+        }
+    }
+    match ty.as_str() {
+        "journal_start" => {
+            let schema = v.get("schema").and_then(Value::as_u64);
+            if schema != Some(SCHEMA_VERSION) {
+                return Err(format!(
+                    "journal_start: schema {schema:?}, this validator understands {SCHEMA_VERSION}"
+                ));
+            }
+        }
+        "counters" => validate_counters(&v)?,
+        _ => {}
+    }
+    Ok(ty)
+}
+
+fn validate_counters(v: &Value) -> Result<(), String> {
+    for c in Counter::ALL {
+        v.get(c.name())
+            .and_then(Value::as_u64)
+            .ok_or_else(|| format!("counters: missing counter '{}'", c.name()))?;
+    }
+    for h in Hist::ALL {
+        let key = format!("hist_{}", h.name());
+        let obj = v.get(&key).ok_or_else(|| format!("counters: missing histogram '{key}'"))?;
+        for field in ["count", "sum", "min", "max"] {
+            let present = matches!(obj.get(field), Some(Value::Num(_) | Value::Null));
+            if !present {
+                return Err(format!("counters: histogram '{key}' missing '{field}'"));
+            }
+        }
+        obj.get("buckets")
+            .and_then(Value::as_arr)
+            .ok_or_else(|| format!("counters: histogram '{key}' missing 'buckets'"))?;
+    }
+    Ok(())
+}
+
+/// Summary of a validated journal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalSummary {
+    /// Number of records.
+    pub records: usize,
+    /// Distinct record types seen, in first-appearance order.
+    pub types_seen: Vec<String>,
+}
+
+/// Validate a whole journal: every line individually, plus the stream
+/// rules — `seq` dense from 0, `journal_start` first, `journal_end` last.
+pub fn validate_journal(lines: &[String]) -> Result<JournalSummary, String> {
+    if lines.is_empty() {
+        return Err("empty journal".to_string());
+    }
+    let mut types_seen: Vec<String> = Vec::new();
+    for (i, line) in lines.iter().enumerate() {
+        let ty = validate_line(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        let seq = json::parse(line)
+            .ok()
+            .and_then(|v| v.get("seq").and_then(Value::as_u64))
+            .expect("validated above");
+        if seq != i as u64 {
+            return Err(format!("line {}: seq {seq}, expected {i}", i + 1));
+        }
+        if i == 0 && ty != "journal_start" {
+            return Err(format!("first record is '{ty}', expected 'journal_start'"));
+        }
+        if i == lines.len() - 1 && ty != "journal_end" {
+            return Err(format!("last record is '{ty}', expected 'journal_end'"));
+        }
+        if !types_seen.iter().any(|t| t == &ty) {
+            types_seen.push(ty);
+        }
+    }
+    Ok(JournalSummary { records: lines.len(), types_seen })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{event, strip_wall_fields, Telemetry};
+
+    /// Emit a representative record of every registered type and check
+    /// that each passes validation — the schema test over every event
+    /// type required by the issue.
+    #[test]
+    fn every_event_type_validates() {
+        let tel = Telemetry::in_memory();
+        tel.meta(&[]);
+        let sp = tel.span("dataset", 0.0);
+        sp.end(0.5);
+        event!(tel, "dataset", records = 48u32, v_s = 0.5);
+        event!(tel, "groups", n_groups = 3u32, groups = "[bx,by][bz][u]");
+        event!(tel, "pmnf_fit", target = "t0", rse = 0.125, terms = 4u32);
+        event!(
+            tel,
+            "sampling_group",
+            group = 0u32,
+            params = "bx,by",
+            candidates = 96u32,
+            kept = 24u32
+        );
+        event!(tel, "codegen", kernels = 16u32, bytes = 48_000u64);
+        event!(tel, "iteration", iteration = 1u32, v_s = 2.5, best_ms = 3.25);
+        event!(tel, "group_pinned", group = 1u32, iteration = 4u32, v_s = 9.0);
+        let best = [1.5, f64::NAN];
+        event!(
+            tel,
+            "ga_gen",
+            gen = 2u32,
+            evaluations = 64u32,
+            best_ms = 1.5,
+            island_best = &best[..]
+        );
+        event!(tel, "quarantine", setting = "bx=32 by=8", v_s = 4.0);
+        event!(
+            tel,
+            "outcome",
+            tuner = "cstuner",
+            best_ms = 3.25,
+            evaluations = 412u32,
+            search_s = 30.0
+        );
+        tel.finish(30.0);
+
+        let lines = tel.lines().unwrap();
+        let summary = validate_journal(&lines).expect("journal valid");
+        let mut missing: Vec<&str> = EVENT_TYPES
+            .iter()
+            .map(|(t, _)| *t)
+            .filter(|t| !summary.types_seen.iter().any(|s| s == t))
+            .collect();
+        assert!(
+            missing.is_empty(),
+            "types never exercised: {missing:?}",
+            missing = {
+                missing.sort();
+                missing
+            }
+        );
+        // Stripping wall fields must not invalidate any record.
+        let stripped: Vec<String> = lines.iter().map(|l| strip_wall_fields(l)).collect();
+        validate_journal(&stripped).expect("stripped journal still valid");
+    }
+
+    #[test]
+    fn rejects_unknown_type_and_missing_fields() {
+        assert!(validate_line(r#"{"type":"mystery","seq":0}"#)
+            .unwrap_err()
+            .contains("unknown record type"));
+        assert!(validate_line(r#"{"type":"span_start","seq":0,"name":"x"}"#)
+            .unwrap_err()
+            .contains("missing field 'v_s'"));
+        assert!(validate_line(r#"{"type":"span_start","seq":0,"name":7,"v_s":0.0}"#)
+            .unwrap_err()
+            .contains("expected Str"));
+        assert!(validate_line(r#"{"type":"iteration","iteration":1,"v_s":0.0,"best_ms":null}"#)
+            .unwrap_err()
+            .contains("seq"));
+    }
+
+    #[test]
+    fn rejects_wrong_schema_version() {
+        let line = r#"{"type":"journal_start","seq":0,"schema":999,"source":"cstuner"}"#;
+        assert!(validate_line(line).unwrap_err().contains("schema"));
+    }
+
+    #[test]
+    fn stream_rules_enforced() {
+        let ok = |s: &str| s.to_string();
+        // Gap in seq.
+        let bad = vec![
+            ok(r#"{"type":"journal_start","seq":0,"schema":1,"source":"t"}"#),
+            ok(r#"{"type":"journal_end","seq":2,"events":2,"v_s":0.0}"#),
+        ];
+        assert!(validate_journal(&bad).unwrap_err().contains("seq"));
+        // Missing journal_end.
+        let bad = vec![
+            ok(r#"{"type":"journal_start","seq":0,"schema":1,"source":"t"}"#),
+            ok(r#"{"type":"run_meta","seq":1}"#),
+        ];
+        assert!(validate_journal(&bad).unwrap_err().contains("journal_end"));
+        assert!(validate_journal(&[]).is_err());
+    }
+}

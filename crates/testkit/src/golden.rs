@@ -92,6 +92,40 @@ pub fn quick_tune_trace(stencil: &str, arch: &GpuArch, opts: &TraceOptions) -> S
     t
 }
 
+/// Format the Fig. 12 quantities of a quick run as a golden trace: the
+/// per-stage pre-processing costs and their fractions of the search
+/// time, every float as exact bits. The pre-processing breakdown is
+/// sourced from the virtual cost model (never wall clock), so this
+/// fixture pins the fig12 experiment's inputs bit-for-bit.
+pub fn preproc_trace(stencil: &str, arch: &GpuArch, opts: &TraceOptions) -> String {
+    let spec =
+        cst_stencil::spec_by_name(stencil).unwrap_or_else(|| panic!("unknown stencil `{stencil}`"));
+    let mut eval =
+        SimEvaluator::new(spec, arch.clone(), opts.seed).with_fault_profile(opts.profile);
+    let cfg = CsTunerConfig {
+        dataset_size: opts.dataset_size,
+        max_iterations: opts.max_iterations,
+        codegen_cap: 16,
+        ..Default::default()
+    };
+    let out = CsTuner::new(cfg).tune(&mut eval, opts.seed).expect("quick tune failed");
+    let search = out.search_s.max(1e-9);
+    let p = &out.preproc;
+    let mut t = String::new();
+    let _ = writeln!(t, "stencil: {stencil}");
+    let _ = writeln!(t, "arch: {}", arch.name);
+    let _ = writeln!(t, "seed: {}", opts.seed);
+    let _ = writeln!(t, "grouping_s: {}", hex_bits(p.grouping_s));
+    let _ = writeln!(t, "sampling_s: {}", hex_bits(p.sampling_s));
+    let _ = writeln!(t, "codegen_s: {}", hex_bits(p.codegen_s));
+    let _ = writeln!(t, "search_s: {}", hex_bits(out.search_s));
+    let _ = writeln!(t, "frac_grouping: {}", hex_bits(p.grouping_s / search));
+    let _ = writeln!(t, "frac_sampling: {}", hex_bits(p.sampling_s / search));
+    let _ = writeln!(t, "frac_codegen: {}", hex_bits(p.codegen_s / search));
+    let _ = writeln!(t, "frac_total: {}", hex_bits(p.total_s() / search));
+    t
+}
+
 fn fixture_path(name: &str) -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fixtures").join(format!("{name}.txt"))
 }

@@ -11,7 +11,7 @@
 use cst_gpu_sim::{FaultProfile, GpuArch, GpuSim};
 use cst_space::Setting;
 use cst_stencil::StencilSpec;
-use cstuner_core::{Evaluator, FaultStats, SimEvaluator};
+use cstuner_core::{Evaluator, FaultStats, SimEvaluator, Tuner};
 
 use crate::gen::{raw_settings, valid_settings};
 
@@ -156,6 +156,58 @@ pub fn fault_run_determinism(
     if q1 != q2 {
         return Err(format!("quarantine count diverged: {q1} vs {q2}"));
     }
+    Ok(())
+}
+
+/// Oracle: the telemetry sink is observationally transparent — a full
+/// quick csTuner run with a live in-memory journal produces a
+/// [`TuningOutcome`](cstuner_core::TuningOutcome) bit-identical to the
+/// same run with the noop handle (journal off). Telemetry may observe
+/// the pipeline; it must never perturb it.
+pub fn journal_transparency(
+    spec: &StencilSpec,
+    arch: &GpuArch,
+    seed: u64,
+    profile: FaultProfile,
+) -> Result<(), String> {
+    let run = |tel: &cst_telemetry::Telemetry| {
+        let mut e = SimEvaluator::new(spec.clone(), arch.clone(), seed).with_fault_profile(profile);
+        e.set_telemetry(tel);
+        let cfg = cstuner_core::CsTunerConfig {
+            dataset_size: 48,
+            max_iterations: 8,
+            codegen_cap: 16,
+            ..Default::default()
+        };
+        let out = cstuner_core::CsTuner::new(cfg)
+            .tune_with_telemetry(&mut e, seed, tel)
+            .map_err(|e| format!("tune failed: {e}"))?;
+        Ok::<_, String>((out, e.fault_stats()))
+    };
+    let (off, stats_off) = run(&cst_telemetry::Telemetry::noop())?;
+    let (on, stats_on) = run(&cst_telemetry::Telemetry::in_memory())?;
+    if off.best_setting != on.best_setting {
+        return Err(format!(
+            "best setting diverged: {:?} vs {:?}",
+            off.best_setting.0, on.best_setting.0
+        ));
+    }
+    bits_equal("best_ms", &[off.best_time_ms], &[on.best_time_ms])?;
+    bits_equal("search_s", &[off.search_s], &[on.search_s])?;
+    bits_equal(
+        "preproc",
+        &[off.preproc.grouping_s, off.preproc.sampling_s, off.preproc.codegen_s],
+        &[on.preproc.grouping_s, on.preproc.sampling_s, on.preproc.codegen_s],
+    )?;
+    if off.evaluations != on.evaluations {
+        return Err(format!("evaluations diverged: {} vs {}", off.evaluations, on.evaluations));
+    }
+    let (ca, cb): (Vec<f64>, Vec<f64>) = (
+        off.curve.iter().flat_map(|p| [p.iteration as f64, p.elapsed_s, p.best_ms]).collect(),
+        on.curve.iter().flat_map(|p| [p.iteration as f64, p.elapsed_s, p.best_ms]).collect(),
+    );
+    bits_equal("curve", &ca, &cb)?;
+    stats_equal(stats_off, stats_on)?;
     Ok(())
 }
 

@@ -8,7 +8,7 @@
 //! `CST_BLESS=1 cargo test -p cst-testkit --test golden_quick`.
 
 use cst_gpu_sim::{FaultProfile, GpuArch};
-use cst_testkit::{check_golden, quick_tune_trace, TraceOptions};
+use cst_testkit::{check_golden, preproc_trace, quick_tune_trace, TraceOptions};
 
 #[test]
 fn quick_tune_j3d7pt_a100_is_pinned() {
@@ -21,6 +21,14 @@ fn quick_tune_cheby_v100_is_pinned() {
     let opts = TraceOptions { seed: 3, ..Default::default() };
     let trace = quick_tune_trace("cheby", &GpuArch::v100(), &opts);
     check_golden("quick_tune_cheby_v100", &trace);
+}
+
+#[test]
+fn preproc_breakdown_fig12_is_pinned() {
+    // Fig. 12's pre-processing fractions come from the virtual cost
+    // model, not wall time, so they are bit-reproducible and pinnable.
+    let trace = preproc_trace("j3d7pt", &GpuArch::a100(), &TraceOptions::default());
+    check_golden("preproc_fig12_j3d7pt_a100", &trace);
 }
 
 #[test]

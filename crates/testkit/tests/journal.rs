@@ -1,0 +1,76 @@
+//! Run-journal integration tests: determinism, transparency, schema.
+//!
+//! The journal contract has three legs. (1) Two same-seed runs emit
+//! byte-identical journals once the wall-time fields are stripped —
+//! everything else is a pure function of the seeds. (2) Turning the
+//! journal on does not perturb the tuning run at all (the differential
+//! oracle in `cst_testkit::journal_transparency`). (3) Every emitted
+//! record validates against the versioned schema, and a full csTuner run
+//! covers all five pipeline stages plus the GA/memo/fault counters.
+
+use cst_gpu_sim::{FaultProfile, GpuArch};
+use cst_telemetry::{schema, strip_wall_fields, Telemetry};
+use cst_testkit::journal_transparency;
+use cstuner_core::{journal_outcome, CsTuner, CsTunerConfig, SimEvaluator, Tuner};
+
+/// A quick instrumented tuning run; returns the journal lines.
+fn journaled_run(seed: u64, profile: FaultProfile) -> Vec<String> {
+    let spec = cst_stencil::spec_by_name("j3d7pt").unwrap();
+    let tel = Telemetry::in_memory();
+    let mut eval = SimEvaluator::new(spec, GpuArch::a100(), seed).with_fault_profile(profile);
+    eval.set_telemetry(&tel);
+    let cfg = CsTunerConfig {
+        dataset_size: 48,
+        max_iterations: 8,
+        codegen_cap: 16,
+        ..Default::default()
+    };
+    let out = CsTuner::new(cfg).tune_with_telemetry(&mut eval, seed, &tel).expect("tune");
+    journal_outcome(&tel, &out);
+    tel.finish(out.search_s);
+    tel.lines().expect("in-memory sink")
+}
+
+#[test]
+fn two_runs_emit_byte_identical_journals_modulo_wall_time() {
+    let a = journaled_run(1, FaultProfile::off());
+    let b = journaled_run(1, FaultProfile::off());
+    assert_eq!(a.len(), b.len(), "journal lengths diverged");
+    for (i, (la, lb)) in a.iter().zip(&b).enumerate() {
+        assert_eq!(strip_wall_fields(la), strip_wall_fields(lb), "journals diverged at record {i}");
+    }
+}
+
+#[test]
+fn journal_on_does_not_perturb_the_tuning_run() {
+    let spec = cst_stencil::spec_by_name("j3d7pt").unwrap();
+    journal_transparency(&spec, &GpuArch::a100(), 1, FaultProfile::off()).unwrap();
+    // The faulty path journals retries/quarantines; it must stay
+    // transparent there too.
+    journal_transparency(&spec, &GpuArch::a100(), 1, FaultProfile::hostile(7)).unwrap();
+}
+
+#[test]
+fn full_run_journal_is_schema_valid_and_covers_the_pipeline() {
+    let lines = journaled_run(1, FaultProfile::hostile(7));
+    let summary = schema::validate_journal(&lines).expect("schema-valid journal");
+    // All five pipeline stages appear as completed spans.
+    for stage in ["dataset", "grouping", "sampling", "codegen", "search"] {
+        assert!(
+            lines.iter().any(|l| l.contains("\"type\":\"span_end\"")
+                && l.contains(&format!("\"name\":\"{stage}\""))),
+            "missing span_end for stage `{stage}`"
+        );
+    }
+    for ty in ["ga_gen", "pmnf_fit", "sampling_group", "iteration", "outcome", "counters"] {
+        assert!(summary.types_seen.iter().any(|t| t == ty), "missing record type `{ty}`");
+    }
+    // The counters record carries the GA/memo/fault tallies.
+    let counters = lines.iter().find(|l| l.contains("\"type\":\"counters\"")).unwrap();
+    for c in ["evals_attempted", "evals_committed", "memo_hits", "memo_misses", "fault_retries"] {
+        assert!(counters.contains(c), "counters record missing `{c}`");
+    }
+    // Stripping wall fields must keep every record schema-valid.
+    let stripped: Vec<String> = lines.iter().map(|l| strip_wall_fields(l)).collect();
+    schema::validate_journal(&stripped).expect("stripped journal stays valid");
+}

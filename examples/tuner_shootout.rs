@@ -7,8 +7,13 @@
 //! ```text
 //! cargo run --release --example tuner_shootout [stencil] [budget_s]
 //! ```
+//!
+//! With `CST_JOURNAL=dir` set, each tuner's seed-0 run writes a
+//! comparable run journal to `dir/<tuner>.jsonl` — feed any of them to
+//! `cstuner report` to compare convergence side by side.
 
 use cstuner::prelude::*;
+use cstuner::telemetry::{Field, FieldValue};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -32,13 +37,33 @@ fn main() {
         Box::new(ArtemisTuner::default()),
         Box::new(RandomSearch::default()),
     ];
+    let journal_dir = std::env::var("CST_JOURNAL").ok().filter(|d| !d.is_empty());
     for tuner in tuners.iter_mut() {
         let mut total = 0.0;
         let mut worst = 0.0f64;
         let mut evals = 0u64;
         for seed in 0..seeds {
+            // One comparable journal per tuner (seed 0 keeps them aligned).
+            let tel = match (&journal_dir, seed) {
+                (Some(dir), 0) => {
+                    let path = std::path::Path::new(dir)
+                        .join(format!("{}.jsonl", tuner.name().to_lowercase()));
+                    Telemetry::to_file(&path).expect("open journal")
+                }
+                _ => Telemetry::noop(),
+            };
+            tel.meta(&[
+                Field::new("stencil", FieldValue::from(stencil)),
+                Field::new("arch", FieldValue::from(arch.name)),
+                Field::new("tuner", FieldValue::from(tuner.name())),
+                Field::new("seed", FieldValue::from(seed)),
+                Field::new("budget_s", FieldValue::from(budget)),
+            ]);
             let mut eval = SimEvaluator::with_budget(spec.clone(), arch.clone(), seed, budget);
-            let out = tuner.tune(&mut eval, seed).expect("tuning failed");
+            eval.set_telemetry(&tel);
+            let out = tuner.tune_with_telemetry(&mut eval, seed, &tel).expect("tuning failed");
+            cstuner::core::journal_outcome(&tel, &out);
+            tel.finish(out.search_s);
             total += out.best_time_ms;
             worst = worst.max(out.best_time_ms);
             evals += out.evaluations;

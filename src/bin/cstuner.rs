@@ -4,14 +4,21 @@
 //! cstuner list                                   # available stencils & GPUs
 //! cstuner tune  --stencil cheby [--arch a100] [--budget 100] [--seed 0]
 //!               [--tuner cstuner|garvey|opentuner|artemis|random]
+//!               [--quick] [--journal run.jsonl]
 //! cstuner codegen --stencil cheby [--arch a100] [--budget 60] [--out k.cu]
+//! cstuner report run.jsonl                       # render a run journal
+//! cstuner journal-check run.jsonl                # schema-validate a journal
 //! ```
 //!
 //! `tune` runs one iso-time tuning session and prints the outcome;
-//! `codegen` additionally emits the winning CUDA kernel.
+//! `codegen` additionally emits the winning CUDA kernel. `--journal`
+//! (or the `CST_JOURNAL` env var) writes a JSONL run journal; `report`
+//! and `journal-check` consume one. Invoking `cstuner --quick ...` with
+//! no subcommand is shorthand for `cstuner tune --quick ...`.
 
 use cstuner::prelude::*;
 use cstuner::stencil::{suite, suite_ext};
+use cstuner::telemetry::{report, schema, Field, FieldValue};
 use std::collections::HashMap;
 
 fn parse_flags(args: &[String]) -> HashMap<String, String> {
@@ -19,9 +26,18 @@ fn parse_flags(args: &[String]) -> HashMap<String, String> {
     let mut i = 0;
     while i < args.len() {
         if let Some(key) = args[i].strip_prefix("--") {
-            let val = args.get(i + 1).cloned().unwrap_or_default();
-            flags.insert(key.to_string(), val);
-            i += 2;
+            // A flag followed by another flag (or nothing) is boolean:
+            // `--quick --journal run.jsonl` must not eat `--journal`.
+            match args.get(i + 1) {
+                Some(next) if !next.starts_with("--") => {
+                    flags.insert(key.to_string(), next.clone());
+                    i += 2;
+                }
+                _ => {
+                    flags.insert(key.to_string(), String::new());
+                    i += 1;
+                }
+            }
         } else {
             i += 1;
         }
@@ -42,9 +58,21 @@ fn find_stencil(name: &str) -> StencilKernel {
     })
 }
 
-fn build_tuner(name: &str) -> Box<dyn Tuner> {
+fn build_tuner(name: &str, quick: bool) -> Box<dyn Tuner> {
     match name {
-        "cstuner" => Box::new(CsTuner::new(CsTunerConfig::default())),
+        "cstuner" => {
+            let cfg = if quick {
+                CsTunerConfig {
+                    dataset_size: 48,
+                    max_iterations: 15,
+                    codegen_cap: 16,
+                    ..Default::default()
+                }
+            } else {
+                CsTunerConfig::default()
+            };
+            Box::new(CsTuner::new(cfg))
+        }
         "garvey" => Box::new(GarveyTuner::default()),
         "opentuner" => Box::new(OpenTunerGa::default()),
         "artemis" => Box::new(ArtemisTuner::default()),
@@ -75,21 +103,57 @@ fn cmd_list() {
     println!("Tuners: cstuner (default), garvey, opentuner, artemis, random");
 }
 
+/// Journal sink from `--journal PATH` or the `CST_JOURNAL` env var; the
+/// flag wins. Absent both, the returned handle is the zero-cost noop.
+fn journal_telemetry(flags: &HashMap<String, String>) -> Telemetry {
+    let path = flags
+        .get("journal")
+        .filter(|p| !p.is_empty())
+        .cloned()
+        .or_else(|| std::env::var("CST_JOURNAL").ok().filter(|p| !p.is_empty()));
+    match path {
+        Some(p) => Telemetry::to_file(std::path::Path::new(&p)).unwrap_or_else(|e| {
+            eprintln!("cannot open journal `{p}`: {e}");
+            std::process::exit(2);
+        }),
+        None => Telemetry::noop(),
+    }
+}
+
 fn run_tune(flags: &HashMap<String, String>) -> (StencilKernel, cstuner::core::TuningOutcome) {
-    let kernel = find_stencil(flags.get("stencil").map(String::as_str).unwrap_or_else(|| {
-        eprintln!("--stencil is required; run `cstuner list`");
-        std::process::exit(2);
-    }));
+    let quick = flags.contains_key("quick");
+    let stencil_name = match flags.get("stencil").map(String::as_str) {
+        Some(s) => s,
+        // `cstuner --quick --journal run.jsonl` should just work; pick the
+        // suite's canonical starter stencil.
+        None if quick => "j3d7pt",
+        None => {
+            eprintln!("--stencil is required; run `cstuner list`");
+            std::process::exit(2);
+        }
+    };
+    let kernel = find_stencil(stencil_name);
     let arch_name = flags.get("arch").map(String::as_str).unwrap_or("a100");
     let arch = GpuArch::by_name(arch_name).unwrap_or_else(|| {
         eprintln!("unknown arch `{arch_name}` (a100|v100|small)");
         std::process::exit(2);
     });
-    let budget: f64 = flags.get("budget").and_then(|s| s.parse().ok()).unwrap_or(100.0);
+    let default_budget = if quick { 30.0 } else { 100.0 };
+    let budget: f64 = flags.get("budget").and_then(|s| s.parse().ok()).unwrap_or(default_budget);
     let seed: u64 = flags.get("seed").and_then(|s| s.parse().ok()).unwrap_or(0);
-    let mut tuner = build_tuner(flags.get("tuner").map(String::as_str).unwrap_or("cstuner"));
+    let tuner_name = flags.get("tuner").map(String::as_str).unwrap_or("cstuner");
+    let mut tuner = build_tuner(tuner_name, quick);
 
+    let tel = journal_telemetry(flags);
+    tel.meta(&[
+        Field::new("stencil", FieldValue::from(kernel.spec.name)),
+        Field::new("arch", FieldValue::from(arch.name)),
+        Field::new("tuner", FieldValue::from(tuner_name)),
+        Field::new("seed", FieldValue::from(seed)),
+        Field::new("budget_s", FieldValue::from(budget)),
+    ]);
     let mut eval = SimEvaluator::with_budget(kernel.spec.clone(), arch.clone(), seed, budget);
+    eval.set_telemetry(&tel);
     let baseline = eval.sim().kernel_time_ms(&Setting::baseline());
     eprintln!(
         "Tuning {} on simulated {} with {} ({}s budget, seed {seed})...",
@@ -98,10 +162,12 @@ fn run_tune(flags: &HashMap<String, String>) -> (StencilKernel, cstuner::core::T
         tuner.name(),
         budget
     );
-    let out = tuner.tune(&mut eval, seed).unwrap_or_else(|e| {
+    let out = tuner.tune_with_telemetry(&mut eval, seed, &tel).unwrap_or_else(|e| {
         eprintln!("tuning failed: {e}");
         std::process::exit(1);
     });
+    cstuner::core::journal_outcome(&tel, &out);
+    tel.finish(out.search_s);
     println!("tuner:      {}", out.tuner);
     println!(
         "best:       {:.4} ms  ({:.2}x over untuned baseline {:.4} ms)",
@@ -125,10 +191,25 @@ fn run_tune(flags: &HashMap<String, String>) -> (StencilKernel, cstuner::core::T
     (kernel, out)
 }
 
+fn read_journal_lines(args: &[String]) -> Vec<String> {
+    let path = args.iter().find(|a| !a.starts_with("--")).unwrap_or_else(|| {
+        eprintln!("usage: cstuner <report|journal-check> <journal.jsonl>");
+        std::process::exit(2);
+    });
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read `{path}`: {e}");
+        std::process::exit(2);
+    });
+    text.lines().map(str::to_string).collect()
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cmd = args.first().map(String::as_str).unwrap_or("help");
-    let flags = parse_flags(&args[1.min(args.len())..]);
+    // `cstuner --quick --journal run.jsonl` is shorthand for `tune`.
+    let (cmd, rest) =
+        if cmd.starts_with("--") { ("tune", &args[..]) } else { (cmd, &args[1.min(args.len())..]) };
+    let flags = parse_flags(rest);
     match cmd {
         "list" => cmd_list(),
         "tune" => {
@@ -145,8 +226,35 @@ fn main() {
                 _ => println!("\n{}", src.code),
             }
         }
+        "report" => {
+            let lines = read_journal_lines(rest);
+            match report::render_report(&lines) {
+                Ok(text) => print!("{text}"),
+                Err(e) => {
+                    eprintln!("invalid journal: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        "journal-check" => {
+            let lines = read_journal_lines(rest);
+            match schema::validate_journal(&lines) {
+                Ok(summary) => {
+                    println!(
+                        "ok: {} records, {} event types ({})",
+                        summary.records,
+                        summary.types_seen.len(),
+                        summary.types_seen.join(", ")
+                    );
+                }
+                Err(e) => {
+                    eprintln!("invalid journal: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
         _ => {
-            eprintln!("usage: cstuner <list|tune|codegen> [--stencil S] [--arch a100|v100] [--budget SECONDS] [--seed N] [--tuner T] [--out FILE]");
+            eprintln!("usage: cstuner <list|tune|codegen|report|journal-check> [--stencil S] [--arch a100|v100] [--budget SECONDS] [--seed N] [--tuner T] [--quick] [--journal FILE] [--out FILE]");
         }
     }
 }

@@ -44,6 +44,7 @@ pub use cst_ml as ml;
 pub use cst_space as space;
 pub use cst_stats as stats;
 pub use cst_stencil as stencil;
+pub use cst_telemetry as telemetry;
 pub use cstuner_core as core;
 
 /// Convenient single-import surface for applications.
@@ -55,4 +56,5 @@ pub mod prelude {
     pub use crate::sim::{GpuArch, GpuSim, MetricsReport};
     pub use crate::space::{OptSpace, ParamId, Setting};
     pub use crate::stencil::{Grid3, StencilKernel, StencilSpec};
+    pub use crate::telemetry::Telemetry;
 }
