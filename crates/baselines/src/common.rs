@@ -72,6 +72,7 @@ impl Recorder {
                 iteration = self.iteration,
                 v_s = eval.clock().now_s(),
                 best_ms = self.best_ms,
+                evals = eval.unique_evaluations(),
             );
         }
         t
@@ -126,6 +127,7 @@ impl Recorder {
                 iteration = self.iteration,
                 v_s = eval.clock().now_s(),
                 best_ms = self.best_ms,
+                evals = eval.unique_evaluations(),
             );
         }
         let best_setting = self.best_setting.ok_or(TuneError::BudgetTooSmall)?;

@@ -106,7 +106,14 @@ pub fn evolutionary_search(
                 iteration += 1;
                 let elapsed_s = eval.clock().now_s();
                 curve.push(CurvePoint { iteration, elapsed_s, best_ms });
-                event!(tel, "iteration", iteration = iteration, v_s = elapsed_s, best_ms = best_ms);
+                event!(
+                    tel,
+                    "iteration",
+                    iteration = iteration,
+                    v_s = elapsed_s,
+                    best_ms = best_ms,
+                    evals = eval.unique_evaluations()
+                );
             }
             t
         }};
@@ -215,7 +222,14 @@ pub fn evolutionary_search(
             iteration += 1;
             let elapsed_s = eval.clock().now_s();
             curve.push(CurvePoint { iteration, elapsed_s, best_ms });
-            event!(tel, "iteration", iteration = iteration, v_s = elapsed_s, best_ms = best_ms);
+            event!(
+                tel,
+                "iteration",
+                iteration = iteration,
+                v_s = elapsed_s,
+                best_ms = best_ms,
+                evals = eval.unique_evaluations()
+            );
             // A population that bred no unevaluated setting has converged
             // in practice; stalling twice force-pins the cursor group so
             // the search narrows instead of spinning.
@@ -327,7 +341,14 @@ pub fn evolutionary_search(
         iteration += 1;
         let elapsed_s = eval.clock().now_s();
         curve.push(CurvePoint { iteration, elapsed_s, best_ms });
-        event!(tel, "iteration", iteration = iteration, v_s = elapsed_s, best_ms = best_ms);
+        event!(
+            tel,
+            "iteration",
+            iteration = iteration,
+            v_s = elapsed_s,
+            best_ms = best_ms,
+            evals = eval.unique_evaluations()
+        );
     }
 
     SearchResult { best_setting, best_ms, curve, iterations: iteration }

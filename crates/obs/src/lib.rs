@@ -1,0 +1,41 @@
+//! Cross-run regression observatory for the csTuner pipeline.
+//!
+//! The run journal (`cst-telemetry`) records everything one tuning
+//! session did; this crate is the layer above it that makes *runs
+//! comparable*:
+//!
+//! - [`summary`] distills a journal into a versioned [`RunSummary`] —
+//!   best cost, convergence milestones (virtual seconds and evaluations
+//!   to land within x% of the final best), per-stage virtual-cost
+//!   shares, memo hit ratio, fault/quarantine rates and counter totals.
+//!   Wall-clock quantities are excluded by construction, so a summary is
+//!   a pure, bit-deterministic function of the journal's deterministic
+//!   core.
+//! - [`store`] is the journal archive: [`JournalStore`] ingests N JSONL
+//!   journals into `*.summary.json` records under a directory
+//!   (`results/obs/` by convention) that later sessions — warm-start
+//!   seeding, dashboards, CI — read back without re-parsing journals.
+//! - [`diff`] compares two runs, or two labeled groups of runs,
+//!   field-by-field with signed relative deltas and explicit
+//!   better/worse conventions per metric.
+//! - [`drift`] classifies each delta as `ok | warn | regress` against
+//!   per-metric thresholds (absolute floor + relative bands + a CV rule
+//!   echoing the paper's CV(top-n) stopping criterion) and renders both
+//!   a text dashboard and a machine-readable verdict — the engine behind
+//!   `cstuner obs gate`, CI's cross-commit performance gate.
+//! - [`dashboard`] renders N summaries side by side for eyeballing a
+//!   whole archive at once.
+
+pub mod dashboard;
+pub mod diff;
+pub mod drift;
+pub mod store;
+pub mod summary;
+
+pub use dashboard::render_dashboard;
+pub use diff::{diff_groups, diff_runs, render_diff, Direction, MetricDelta, RunDiff};
+pub use drift::{
+    evaluate_gate, render_gate_dashboard, verdict_json, DriftClass, DriftPolicy, GateReport,
+};
+pub use store::{load_run, JournalStore};
+pub use summary::{summarize, HistSummary, Milestone, RunSummary, MILESTONE_PCTS, SUMMARY_VERSION};

@@ -1,0 +1,180 @@
+//! The journal archive: a directory of `*.summary.json` records.
+//!
+//! [`JournalStore`] owns one directory (`results/obs/` by convention) and
+//! maps run names to summary files. Ingesting a journal summarizes it
+//! ([`crate::summarize`]) and writes the summary under a caller-chosen
+//! name; later sessions list and load summaries without touching the
+//! original journals, which can be gigabytes across a sweep while the
+//! archive stays kilobytes.
+
+use crate::summary::{summarize, RunSummary};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// File suffix of archived summaries.
+const SUFFIX: &str = ".summary.json";
+
+/// A directory of run summaries, addressed by run name.
+#[derive(Debug, Clone)]
+pub struct JournalStore {
+    dir: PathBuf,
+}
+
+impl JournalStore {
+    /// Open (creating if needed) the archive directory.
+    pub fn open(dir: &Path) -> Result<JournalStore, String> {
+        fs::create_dir_all(dir)
+            .map_err(|e| format!("cannot create archive dir {}: {e}", dir.display()))?;
+        Ok(JournalStore { dir: dir.to_path_buf() })
+    }
+
+    /// The archive directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Where a run's summary lives.
+    pub fn path_of(&self, name: &str) -> PathBuf {
+        self.dir.join(format!("{name}{SUFFIX}"))
+    }
+
+    /// Summarize a journal's lines and archive the summary under `name`.
+    /// Returns the stored summary.
+    pub fn ingest_lines(&self, name: &str, lines: &[String]) -> Result<RunSummary, String> {
+        let summary = summarize(name, lines)?;
+        let path = self.path_of(name);
+        fs::write(&path, summary.to_json() + "\n")
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        Ok(summary)
+    }
+
+    /// Summarize a journal file (JSONL) and archive it. The run name
+    /// defaults to the journal's file stem unless `name` is given.
+    pub fn ingest_file(&self, journal: &Path, name: Option<&str>) -> Result<RunSummary, String> {
+        let lines = read_jsonl(journal)?;
+        let stem = journal.file_stem().and_then(|s| s.to_str()).unwrap_or("run");
+        self.ingest_lines(name.unwrap_or(stem), &lines)
+    }
+
+    /// Load one archived summary by name.
+    pub fn load(&self, name: &str) -> Result<RunSummary, String> {
+        let path = self.path_of(name);
+        let text = fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        RunSummary::from_json(&text).map_err(|e| format!("{}: {e}", path.display()))
+    }
+
+    /// Names of every archived run, sorted for deterministic iteration.
+    pub fn list(&self) -> Result<Vec<String>, String> {
+        let entries = fs::read_dir(&self.dir)
+            .map_err(|e| format!("cannot list {}: {e}", self.dir.display()))?;
+        let mut names = Vec::new();
+        for entry in entries {
+            let entry = entry.map_err(|e| format!("cannot list {}: {e}", self.dir.display()))?;
+            if let Some(name) = entry.file_name().to_str().and_then(|f| f.strip_suffix(SUFFIX)) {
+                names.push(name.to_string());
+            }
+        }
+        names.sort();
+        Ok(names)
+    }
+
+    /// Load every archived summary, in name order.
+    pub fn load_all(&self) -> Result<Vec<RunSummary>, String> {
+        self.list()?.iter().map(|n| self.load(n)).collect()
+    }
+}
+
+fn read_jsonl(path: &Path) -> Result<Vec<String>, String> {
+    let text =
+        fs::read_to_string(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    Ok(text.lines().map(str::to_string).collect())
+}
+
+/// Load a run from any supported file: a `*.summary.json` archive record
+/// or a raw JSONL journal (detected by its `journal_start` first line,
+/// which a summary — a single JSON object keyed `summary_version` — never
+/// has). Lets `cstuner obs diff`/`gate` accept either form.
+pub fn load_run(path: &Path) -> Result<RunSummary, String> {
+    let text =
+        fs::read_to_string(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let first = text.lines().next().unwrap_or("");
+    if first.contains("\"type\":\"journal_start\"") {
+        let lines: Vec<String> = text.lines().map(str::to_string).collect();
+        let stem = path.file_stem().and_then(|s| s.to_str()).unwrap_or("run");
+        summarize(stem, &lines)
+    } else {
+        RunSummary::from_json(&text).map_err(|e| format!("{}: {e}", path.display()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cst_telemetry::{event, strip_wall_fields, Telemetry};
+
+    fn journal() -> Vec<String> {
+        let tel = Telemetry::in_memory();
+        tel.meta(&[]);
+        event!(tel, "iteration", iteration = 1u32, v_s = 1.0, best_ms = 2.0, evals = 8u32);
+        event!(tel, "outcome", tuner = "t", best_ms = 2.0, evaluations = 8u32, search_s = 1.0);
+        tel.finish(1.0);
+        tel.lines().unwrap().iter().map(|l| strip_wall_fields(l)).collect()
+    }
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("cst_obs_store_{tag}_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn ingest_list_load_round_trip() {
+        let dir = tmp_dir("rt");
+        let store = JournalStore::open(&dir).unwrap();
+        let stored = store.ingest_lines("run-a", &journal()).unwrap();
+        store.ingest_lines("run-b", &journal()).unwrap();
+        assert_eq!(store.list().unwrap(), ["run-a", "run-b"]);
+        assert_eq!(store.load("run-a").unwrap(), stored);
+        assert_eq!(store.load_all().unwrap().len(), 2);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn ingest_file_uses_the_journal_stem() {
+        let dir = tmp_dir("stem");
+        let store = JournalStore::open(&dir).unwrap();
+        let jpath = dir.join("nightly.jsonl");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(&jpath, journal().join("\n")).unwrap();
+        store.ingest_file(&jpath, None).unwrap();
+        assert_eq!(store.list().unwrap(), ["nightly"]);
+        store.ingest_file(&jpath, Some("renamed")).unwrap();
+        assert_eq!(store.list().unwrap(), ["nightly", "renamed"]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn load_run_detects_journal_vs_summary() {
+        let dir = tmp_dir("detect");
+        fs::create_dir_all(&dir).unwrap();
+        let jpath = dir.join("run.jsonl");
+        fs::write(&jpath, journal().join("\n")).unwrap();
+        let from_journal = load_run(&jpath).unwrap();
+        let spath = dir.join("run.summary.json");
+        fs::write(&spath, from_journal.to_json()).unwrap();
+        let from_summary = load_run(&spath).unwrap();
+        assert_eq!(from_journal, from_summary);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_and_corrupt_files_are_clean_errors() {
+        let dir = tmp_dir("err");
+        let store = JournalStore::open(&dir).unwrap();
+        assert!(store.load("nope").is_err());
+        fs::write(store.path_of("bad"), "not json").unwrap();
+        assert!(store.load("bad").is_err());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

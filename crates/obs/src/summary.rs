@@ -1,0 +1,569 @@
+//! Per-run summaries: the archive's unit record.
+//!
+//! [`summarize`] reduces a validated run journal to a [`RunSummary`] —
+//! every cross-run comparison in this crate happens over summaries, never
+//! raw journals. The summary keeps only **virtual-clock** quantities
+//! (wall-clock fields are excluded by construction), so summarizing the
+//! same journal twice, on any host, yields byte-identical JSON.
+//!
+//! The on-disk format (`*.summary.json`, one JSON object per file) is
+//! versioned by [`SUMMARY_VERSION`], independently of the journal schema:
+//! a summary consumer (warm-start seeding, CI gates, dashboards) checks
+//! the summary version only, and [`RunSummary::from_json`] rejects
+//! versions it does not understand.
+
+use cst_telemetry::json::{self, Value};
+use cst_telemetry::{report, schema, Counter};
+use std::fmt::Write as _;
+
+/// Version stamped into every `*.summary.json`. Bump when a field is
+/// removed, renamed, or changes meaning; adding optional fields is
+/// backward compatible and needs no bump.
+pub const SUMMARY_VERSION: u64 = 1;
+
+/// Convergence milestones recorded per run: "within x% of the final
+/// best". Matches the convergence-speed framing of the paper's Figs.
+/// 9–11 (how fast a tuner gets *close*, not only where it ends).
+pub const MILESTONE_PCTS: [u32; 5] = [50, 20, 10, 5, 1];
+
+/// One convergence milestone: the first iteration whose best-so-far was
+/// within `within_pct` percent of the run's final best.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Milestone {
+    /// The band: best-so-far ≤ final·(1 + within_pct/100).
+    pub within_pct: u32,
+    /// Iteration index that first entered the band.
+    pub iteration: u64,
+    /// Virtual seconds elapsed at that iteration.
+    pub v_s: f64,
+    /// Unique evaluations committed by then (0 for journals predating
+    /// the `evals` iteration field).
+    pub evals: u64,
+}
+
+/// Condensed view of one journal histogram: moments plus the p50/p95
+/// log-bucket estimates from [`report::hist_percentile`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistSummary {
+    /// Histogram name (e.g. `eval_time_ms`).
+    pub name: String,
+    /// Observations recorded.
+    pub count: u64,
+    /// Mean observation.
+    pub mean: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+    /// Estimated median.
+    pub p50: f64,
+    /// Estimated 95th percentile.
+    pub p95: f64,
+}
+
+/// One aggregated pipeline stage: total virtual cost across the run's
+/// `span_end` records of that name, in first-completion order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageCost {
+    /// Span name (`dataset`, `grouping`, `sampling`, `codegen`, `search`).
+    pub name: String,
+    /// Summed virtual cost in seconds.
+    pub v_cost_s: f64,
+}
+
+/// The versioned per-run record the observatory archives and compares.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunSummary {
+    /// Format version ([`SUMMARY_VERSION`]).
+    pub version: u64,
+    /// Where this summary came from (ingest label or journal file stem).
+    pub source: String,
+    /// Stencil name from `run_meta` (`"?"` when absent).
+    pub stencil: String,
+    /// GPU architecture from `run_meta`.
+    pub arch: String,
+    /// Tuner name from `run_meta` (falling back to the `outcome` record).
+    pub tuner: String,
+    /// Run seed.
+    pub seed: u64,
+    /// Iso-time budget in virtual seconds (0 when unbounded/absent).
+    pub budget_s: f64,
+    /// Final best kernel time in ms (`INFINITY` if the run found nothing).
+    pub best_ms: f64,
+    /// Unique settings evaluated.
+    pub evaluations: u64,
+    /// Virtual seconds spent searching.
+    pub search_s: f64,
+    /// Iterations recorded.
+    pub iterations: u64,
+    /// GA generations stepped (counter total).
+    pub ga_generations: u64,
+    /// Evaluator memo hits / (hits + misses); 0 when no lookups happened.
+    pub memo_hit_ratio: f64,
+    /// Injected measurement failures per attempted evaluation.
+    pub fault_rate: f64,
+    /// Quarantined settings per attempted evaluation.
+    pub quarantine_rate: f64,
+    /// Convergence milestones, one per achieved [`MILESTONE_PCTS`] band.
+    pub milestones: Vec<Milestone>,
+    /// Per-stage virtual-cost totals, in first-completion order.
+    pub stages: Vec<StageCost>,
+    /// Every journal counter total, in journal order.
+    pub counters: Vec<(String, u64)>,
+    /// Histogram condensates, in journal order.
+    pub hists: Vec<HistSummary>,
+}
+
+impl RunSummary {
+    /// Total virtual cost across all stages.
+    pub fn total_stage_cost_s(&self) -> f64 {
+        self.stages.iter().map(|s| s.v_cost_s).sum()
+    }
+
+    /// A stage's share of the total stage cost (0 when there are no
+    /// stage records).
+    pub fn stage_share(&self, name: &str) -> f64 {
+        let total = self.total_stage_cost_s();
+        if total <= 0.0 {
+            return 0.0;
+        }
+        self.stages.iter().filter(|s| s.name == name).map(|s| s.v_cost_s).sum::<f64>() / total
+    }
+
+    /// A counter total by journal name (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.iter().find(|(n, _)| n == name).map(|&(_, v)| v).unwrap_or(0)
+    }
+
+    /// The milestone for a band, if the run achieved it.
+    pub fn milestone(&self, within_pct: u32) -> Option<&Milestone> {
+        self.milestones.iter().find(|m| m.within_pct == within_pct)
+    }
+}
+
+fn num(v: &Value, key: &str) -> Option<f64> {
+    v.get(key).and_then(Value::as_f64)
+}
+
+fn uint(v: &Value, key: &str) -> u64 {
+    v.get(key).and_then(Value::as_u64).unwrap_or(0)
+}
+
+fn ratio(n: u64, d: u64) -> f64 {
+    if d == 0 {
+        0.0
+    } else {
+        n as f64 / d as f64
+    }
+}
+
+/// Distill a journal (one JSON record per line, wall fields tolerated and
+/// ignored) into a [`RunSummary`]. The journal is schema-validated first;
+/// a malformed journal is an error, not a half-filled summary.
+pub fn summarize(source: &str, lines: &[String]) -> Result<RunSummary, String> {
+    schema::validate_journal(lines)?;
+    let records: Vec<Value> = lines.iter().map(|l| json::parse(l).expect("validated")).collect();
+    let of_type = |ty: &str| -> Vec<&Value> {
+        records.iter().filter(|r| r.get("type").and_then(Value::as_str) == Some(ty)).collect()
+    };
+
+    let meta = of_type("run_meta");
+    let meta_str = |key: &str| -> String {
+        meta.iter().find_map(|m| m.get(key).and_then(Value::as_str)).unwrap_or("?").to_string()
+    };
+    let outcome = of_type("outcome").first().copied();
+    let counters_rec = of_type("counters").first().copied();
+    let journal_end = of_type("journal_end").first().copied();
+
+    // Final quantities: prefer the explicit outcome record, fall back to
+    // the iteration stream / counters for journals of aborted runs.
+    let iterations = of_type("iteration");
+    let last_iter_best = iterations.iter().rev().find_map(|it| num(it, "best_ms"));
+    let best_ms =
+        outcome.and_then(|o| num(o, "best_ms")).or(last_iter_best).unwrap_or(f64::INFINITY);
+    let evaluations = outcome
+        .map(|o| uint(o, "evaluations"))
+        .unwrap_or_else(|| counters_rec.map(|c| uint(c, "evals_committed")).unwrap_or(0));
+    let search_s = outcome
+        .and_then(|o| num(o, "search_s"))
+        .or_else(|| journal_end.and_then(|e| num(e, "v_s")))
+        .unwrap_or(0.0);
+
+    // Convergence milestones: the first iteration whose best-so-far is
+    // within each band of the final best. Iterations with a null best
+    // (nothing finite measured yet) cannot enter any band.
+    let mut milestones = Vec::new();
+    if best_ms.is_finite() {
+        for pct in MILESTONE_PCTS {
+            let band = best_ms * (1.0 + pct as f64 / 100.0);
+            let hit = iterations.iter().find(|it| match num(it, "best_ms") {
+                Some(b) => b <= band,
+                None => false,
+            });
+            if let Some(it) = hit {
+                milestones.push(Milestone {
+                    within_pct: pct,
+                    iteration: uint(it, "iteration"),
+                    v_s: num(it, "v_s").unwrap_or(0.0),
+                    evals: uint(it, "evals"),
+                });
+            }
+        }
+    }
+
+    // Per-stage virtual costs, aggregated by span name in
+    // first-completion order (nested or repeated spans sum up).
+    let mut stages: Vec<StageCost> = Vec::new();
+    for s in of_type("span_end") {
+        let name = s.get("name").and_then(Value::as_str).unwrap_or("?");
+        let cost = num(s, "v_cost_s").unwrap_or(0.0);
+        match stages.iter_mut().find(|st| st.name == name) {
+            Some(st) => st.v_cost_s += cost,
+            None => stages.push(StageCost { name: name.to_string(), v_cost_s: cost }),
+        }
+    }
+
+    // Counter totals and histogram condensates from the counters record.
+    let mut counters: Vec<(String, u64)> = Vec::new();
+    let mut hists: Vec<HistSummary> = Vec::new();
+    if let Some(c) = counters_rec {
+        for ctr in Counter::ALL {
+            counters.push((ctr.name().to_string(), uint(c, ctr.name())));
+        }
+        if let Value::Obj(fields) = c {
+            for (key, h) in fields.iter().filter(|(k, _)| k.starts_with("hist_")) {
+                let count = uint(h, "count");
+                // An empty histogram has no moments worth archiving (and
+                // its NaN placeholders would poison summary equality).
+                if count == 0 {
+                    continue;
+                }
+                let (p50, p95) = report::hist_percentiles(h).unwrap_or((f64::NAN, f64::NAN));
+                hists.push(HistSummary {
+                    name: key["hist_".len()..].to_string(),
+                    count,
+                    mean: num(h, "sum").unwrap_or(0.0) / count as f64,
+                    min: num(h, "min").unwrap_or(f64::NAN),
+                    max: num(h, "max").unwrap_or(f64::NAN),
+                    p50,
+                    p95,
+                });
+            }
+        }
+    }
+
+    let attempted = counters_rec.map(|c| uint(c, "evals_attempted")).unwrap_or(0);
+    let hits = counters_rec.map(|c| uint(c, "memo_hits")).unwrap_or(0);
+    let misses = counters_rec.map(|c| uint(c, "memo_misses")).unwrap_or(0);
+    let failures = counters_rec
+        .map(|c| uint(c, "fault_compile") + uint(c, "fault_launch") + uint(c, "fault_timeout"))
+        .unwrap_or(0);
+    let quarantined = counters_rec.map(|c| uint(c, "fault_quarantined")).unwrap_or(0);
+
+    Ok(RunSummary {
+        version: SUMMARY_VERSION,
+        source: source.to_string(),
+        stencil: meta_str("stencil"),
+        arch: meta_str("arch"),
+        tuner: {
+            let t = meta_str("tuner");
+            if t != "?" {
+                t
+            } else {
+                outcome
+                    .and_then(|o| o.get("tuner").and_then(Value::as_str))
+                    .unwrap_or("?")
+                    .to_string()
+            }
+        },
+        seed: meta.iter().find_map(|m| m.get("seed").and_then(Value::as_u64)).unwrap_or(0),
+        budget_s: meta.iter().find_map(|m| num(m, "budget_s")).unwrap_or(0.0),
+        best_ms,
+        evaluations,
+        search_s,
+        iterations: iterations.len() as u64,
+        ga_generations: counters_rec.map(|c| uint(c, "ga_generations")).unwrap_or(0),
+        memo_hit_ratio: ratio(hits, hits + misses),
+        fault_rate: ratio(failures, attempted),
+        quarantine_rate: ratio(quarantined, attempted),
+        milestones,
+        stages,
+        counters,
+        hists,
+    })
+}
+
+impl RunSummary {
+    /// Serialize to the versioned single-line JSON format. Field order is
+    /// fixed and floats use the journal's canonical formatting, so the
+    /// output is byte-deterministic.
+    pub fn to_json(&self) -> String {
+        let mut o = String::with_capacity(1024);
+        let _ = write!(o, "{{\"summary_version\":{}", self.version);
+        for (k, v) in [
+            ("source", &self.source),
+            ("stencil", &self.stencil),
+            ("arch", &self.arch),
+            ("tuner", &self.tuner),
+        ] {
+            let _ = write!(o, ",\"{k}\":");
+            json::write_escaped(&mut o, v);
+        }
+        let _ = write!(o, ",\"seed\":{}", self.seed);
+        o.push_str(",\"budget_s\":");
+        json::write_f64(&mut o, self.budget_s);
+        o.push_str(",\"best_ms\":");
+        json::write_f64(&mut o, self.best_ms);
+        let _ = write!(o, ",\"evaluations\":{}", self.evaluations);
+        o.push_str(",\"search_s\":");
+        json::write_f64(&mut o, self.search_s);
+        let _ = write!(o, ",\"iterations\":{}", self.iterations);
+        let _ = write!(o, ",\"ga_generations\":{}", self.ga_generations);
+        for (k, v) in [
+            ("memo_hit_ratio", self.memo_hit_ratio),
+            ("fault_rate", self.fault_rate),
+            ("quarantine_rate", self.quarantine_rate),
+        ] {
+            let _ = write!(o, ",\"{k}\":");
+            json::write_f64(&mut o, v);
+        }
+        o.push_str(",\"milestones\":[");
+        for (i, m) in self.milestones.iter().enumerate() {
+            if i > 0 {
+                o.push(',');
+            }
+            let _ = write!(
+                o,
+                "{{\"within_pct\":{},\"iteration\":{},\"v_s\":",
+                m.within_pct, m.iteration
+            );
+            json::write_f64(&mut o, m.v_s);
+            let _ = write!(o, ",\"evals\":{}}}", m.evals);
+        }
+        o.push_str("],\"stages\":[");
+        for (i, s) in self.stages.iter().enumerate() {
+            if i > 0 {
+                o.push(',');
+            }
+            o.push_str("{\"name\":");
+            json::write_escaped(&mut o, &s.name);
+            o.push_str(",\"v_cost_s\":");
+            json::write_f64(&mut o, s.v_cost_s);
+            o.push('}');
+        }
+        o.push_str("],\"counters\":{");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                o.push(',');
+            }
+            let _ = write!(o, "\"{k}\":{v}");
+        }
+        o.push_str("},\"hists\":[");
+        for (i, h) in self.hists.iter().enumerate() {
+            if i > 0 {
+                o.push(',');
+            }
+            o.push_str("{\"name\":");
+            json::write_escaped(&mut o, &h.name);
+            let _ = write!(o, ",\"count\":{}", h.count);
+            for (k, v) in
+                [("mean", h.mean), ("min", h.min), ("max", h.max), ("p50", h.p50), ("p95", h.p95)]
+            {
+                let _ = write!(o, ",\"{k}\":");
+                json::write_f64(&mut o, v);
+            }
+            o.push('}');
+        }
+        o.push_str("]}");
+        o
+    }
+
+    /// Parse a `*.summary.json` document, rejecting unknown versions.
+    pub fn from_json(text: &str) -> Result<RunSummary, String> {
+        let v = json::parse(text.trim())?;
+        let version =
+            v.get("summary_version").and_then(Value::as_u64).ok_or("missing summary_version")?;
+        if version != SUMMARY_VERSION {
+            return Err(format!(
+                "summary version {version}, this build understands {SUMMARY_VERSION}"
+            ));
+        }
+        let s =
+            |key: &str| -> String { v.get(key).and_then(Value::as_str).unwrap_or("?").to_string() };
+        // Non-finite floats serialize as null; read them back as the
+        // non-finite value the field semantically carries.
+        let f = |obj: &Value, key: &str, absent: f64| -> f64 {
+            match obj.get(key) {
+                Some(Value::Num(x)) => *x,
+                _ => absent,
+            }
+        };
+        let mut milestones = Vec::new();
+        for m in v.get("milestones").and_then(Value::as_arr).unwrap_or(&[]) {
+            milestones.push(Milestone {
+                within_pct: uint(m, "within_pct") as u32,
+                iteration: uint(m, "iteration"),
+                v_s: f(m, "v_s", 0.0),
+                evals: uint(m, "evals"),
+            });
+        }
+        let mut stages = Vec::new();
+        for st in v.get("stages").and_then(Value::as_arr).unwrap_or(&[]) {
+            stages.push(StageCost {
+                name: st.get("name").and_then(Value::as_str).unwrap_or("?").to_string(),
+                v_cost_s: f(st, "v_cost_s", 0.0),
+            });
+        }
+        let mut counters = Vec::new();
+        if let Some(Value::Obj(fields)) = v.get("counters") {
+            for (k, c) in fields {
+                counters.push((k.clone(), c.as_u64().unwrap_or(0)));
+            }
+        }
+        let mut hists = Vec::new();
+        for h in v.get("hists").and_then(Value::as_arr).unwrap_or(&[]) {
+            hists.push(HistSummary {
+                name: h.get("name").and_then(Value::as_str).unwrap_or("?").to_string(),
+                count: uint(h, "count"),
+                mean: f(h, "mean", f64::NAN),
+                min: f(h, "min", f64::NAN),
+                max: f(h, "max", f64::NAN),
+                p50: f(h, "p50", f64::NAN),
+                p95: f(h, "p95", f64::NAN),
+            });
+        }
+        Ok(RunSummary {
+            version,
+            source: s("source"),
+            stencil: s("stencil"),
+            arch: s("arch"),
+            tuner: s("tuner"),
+            seed: uint(&v, "seed"),
+            budget_s: f(&v, "budget_s", 0.0),
+            best_ms: f(&v, "best_ms", f64::INFINITY),
+            evaluations: uint(&v, "evaluations"),
+            search_s: f(&v, "search_s", 0.0),
+            iterations: uint(&v, "iterations"),
+            ga_generations: uint(&v, "ga_generations"),
+            memo_hit_ratio: f(&v, "memo_hit_ratio", 0.0),
+            fault_rate: f(&v, "fault_rate", 0.0),
+            quarantine_rate: f(&v, "quarantine_rate", 0.0),
+            milestones,
+            stages,
+            counters,
+            hists,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cst_telemetry::{event, strip_wall_fields, Field, FieldValue, Telemetry};
+
+    /// A small deterministic journal exercising every summary input.
+    pub fn fixed_journal() -> Vec<String> {
+        let tel = Telemetry::in_memory();
+        tel.meta(&[
+            Field::new("stencil", FieldValue::Str("j3d7pt")),
+            Field::new("arch", FieldValue::Str("a100")),
+            Field::new("tuner", FieldValue::Str("csTuner")),
+            Field::new("seed", FieldValue::U64(1)),
+            Field::new("budget_s", FieldValue::F64(30.0)),
+        ]);
+        let sp = tel.span("sampling", 0.0);
+        sp.end_with_cost(0.0, 0.25);
+        let sp = tel.span("search", 0.0);
+        event!(tel, "iteration", iteration = 1u32, v_s = 2.0, best_ms = 8.0, evals = 32u32);
+        event!(tel, "iteration", iteration = 2u32, v_s = 5.0, best_ms = 4.4, evals = 64u32);
+        event!(tel, "iteration", iteration = 3u32, v_s = 9.0, best_ms = 4.0, evals = 96u32);
+        sp.end(9.5);
+        event!(
+            tel,
+            "outcome",
+            tuner = "csTuner",
+            best_ms = 4.0,
+            evaluations = 96u32,
+            search_s = 9.5
+        );
+        tel.add(cst_telemetry::Counter::EvalsAttempted, 128);
+        tel.add(cst_telemetry::Counter::EvalsCommitted, 96);
+        tel.add(cst_telemetry::Counter::MemoHits, 32);
+        tel.add(cst_telemetry::Counter::MemoMisses, 96);
+        tel.add(cst_telemetry::Counter::GaGenerations, 3);
+        for v in [0.5, 2.0, 4.0, 8.0] {
+            tel.observe(cst_telemetry::Hist::EvalTimeMs, v);
+        }
+        tel.finish(9.5);
+        tel.lines().unwrap().iter().map(|l| strip_wall_fields(l)).collect()
+    }
+
+    #[test]
+    fn summarizes_the_fixed_journal() {
+        let s = summarize("fixed", &fixed_journal()).unwrap();
+        assert_eq!(s.version, SUMMARY_VERSION);
+        assert_eq!(s.stencil, "j3d7pt");
+        assert_eq!(s.tuner, "csTuner");
+        assert_eq!(s.seed, 1);
+        assert_eq!(s.best_ms, 4.0);
+        assert_eq!(s.evaluations, 96);
+        assert_eq!(s.iterations, 3);
+        assert_eq!(s.ga_generations, 3);
+        assert!((s.memo_hit_ratio - 0.25).abs() < 1e-12);
+        assert_eq!(s.fault_rate, 0.0);
+        // Milestones: 100% band is not tracked; within 50% means ≤ 6.0 —
+        // iteration 2 (4.4); within 10% means ≤ 4.4 — also iteration 2;
+        // within 5% and 1% need iteration 3.
+        assert_eq!(s.milestone(50).unwrap().iteration, 2);
+        assert_eq!(s.milestone(50).unwrap().evals, 64);
+        assert_eq!(s.milestone(10).unwrap().iteration, 2);
+        assert_eq!(s.milestone(1).unwrap().iteration, 3);
+        assert_eq!(s.milestones.len(), MILESTONE_PCTS.len());
+        // Stage costs: sampling 0.25, search 9.5.
+        assert_eq!(s.stages.len(), 2);
+        assert!((s.stage_share("search") - 9.5 / 9.75).abs() < 1e-12);
+        assert_eq!(s.counter("evals_attempted"), 128);
+        let h = s.hists.iter().find(|h| h.name == "eval_time_ms").unwrap();
+        assert_eq!(h.count, 4);
+        assert!(h.p50 > 0.0 && h.p50 <= h.p95 && h.p95 <= h.max);
+    }
+
+    #[test]
+    fn json_round_trips_exactly() {
+        let s = summarize("fixed", &fixed_journal()).unwrap();
+        let j = s.to_json();
+        let back = RunSummary::from_json(&j).unwrap();
+        assert_eq!(back, s);
+        // Serialization is canonical: round-tripping the text is a no-op.
+        assert_eq!(back.to_json(), j);
+    }
+
+    #[test]
+    fn summary_is_deterministic() {
+        let a = summarize("x", &fixed_journal()).unwrap().to_json();
+        let b = summarize("x", &fixed_journal()).unwrap().to_json();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn unknown_summary_version_is_rejected() {
+        let s = summarize("fixed", &fixed_journal()).unwrap();
+        let j = s.to_json().replace("\"summary_version\":1", "\"summary_version\":99");
+        let err = RunSummary::from_json(&j).unwrap_err();
+        assert!(err.contains("version 99"), "{err}");
+    }
+
+    #[test]
+    fn malformed_journal_is_an_error_not_a_partial_summary() {
+        assert!(summarize("bad", &["not json".to_string()]).is_err());
+        assert!(summarize("empty", &[]).is_err());
+    }
+
+    #[test]
+    fn infinite_best_survives_the_round_trip() {
+        let s =
+            RunSummary { best_ms: f64::INFINITY, ..summarize("fixed", &fixed_journal()).unwrap() };
+        let back = RunSummary::from_json(&s.to_json()).unwrap();
+        assert!(back.best_ms.is_infinite());
+    }
+}

@@ -77,6 +77,25 @@ impl Value {
     }
 }
 
+/// Append a float in the journal's canonical formatting: finite values
+/// use Rust's shortest-roundtrip rendering (deterministic and exact),
+/// integral floats gain a trailing `.0` so they survive a parse→format
+/// round trip unambiguously, and non-finite values (which have no JSON
+/// representation) become `null`. Every JSON producer in the workspace —
+/// the journal writer and the `cst-obs` summary store — goes through this
+/// one function, so cross-format byte determinism holds by construction.
+pub fn write_f64(out: &mut String, x: f64) {
+    if x.is_finite() {
+        if x == x.trunc() && x.abs() < 1e15 {
+            let _ = write!(out, "{x:.1}");
+        } else {
+            let _ = write!(out, "{x}");
+        }
+    } else {
+        out.push_str("null");
+    }
+}
+
 /// Append `s` to `out` as a JSON string literal (quoted and escaped).
 pub fn write_escaped(out: &mut String, s: &str) {
     out.push('"');

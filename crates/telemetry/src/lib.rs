@@ -25,6 +25,7 @@ pub mod json;
 pub mod report;
 pub mod schema;
 
+use json::write_f64;
 use std::fmt::Write as _;
 use std::io::Write as _;
 use std::path::Path;
@@ -33,7 +34,11 @@ use std::time::Instant;
 
 /// Version stamped into every journal's `journal_start` record. Bump when
 /// an event type or required field changes incompatibly.
-pub const SCHEMA_VERSION: u64 = 1;
+///
+/// History: v1 — initial registry; v2 — `iteration` records gained a
+/// required `evals` field (cumulative unique evaluations), so cross-run
+/// summaries can report evals-to-milestone convergence.
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// Typed hot-path counters. Each is flushed into the journal's single
 /// `counters` record by [`Telemetry::finish`] under its [`Counter::name`].
@@ -531,23 +536,6 @@ fn write_value(out: &mut String, v: &FieldValue<'_>) {
             }
             out.push(']');
         }
-    }
-}
-
-/// Finite floats use Rust's shortest-roundtrip formatting (deterministic
-/// and exact); non-finite values have no JSON representation and become
-/// `null`.
-fn write_f64(out: &mut String, x: f64) {
-    if x.is_finite() {
-        // Integral floats print like "3" — add ".0" so the value reads as
-        // a float and survives a parse→format round trip unambiguously.
-        if x == x.trunc() && x.abs() < 1e15 {
-            let _ = write!(out, "{x:.1}");
-        } else {
-            let _ = write!(out, "{x}");
-        }
-    } else {
-        out.push_str("null");
     }
 }
 

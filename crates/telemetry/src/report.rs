@@ -16,11 +16,78 @@ fn uint(v: &Value, key: &str) -> u64 {
     v.get(key).and_then(Value::as_u64).unwrap_or(0)
 }
 
+/// Estimate the `q`-quantile (`0 < q <= 1`) of a journal histogram from
+/// its log₁₀ bucket counts. Bucket `i` covers `[10^(i-8), 10^(i-7))`; the
+/// estimator finds the bucket holding the `ceil(q·count)`-th observation
+/// and interpolates the observation's position inside the bucket linearly
+/// in log space (bucket-midpoint interpolation: a lone observation lands
+/// on the bucket's geometric midpoint). Returns `None` for an empty
+/// histogram.
+pub fn hist_percentile(buckets: &[u64], q: f64) -> Option<f64> {
+    let count: u64 = buckets.iter().sum();
+    if count == 0 || !(0.0..=1.0).contains(&q) || q == 0.0 {
+        return None;
+    }
+    let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+    let mut cum = 0u64;
+    for (i, &n) in buckets.iter().enumerate() {
+        if cum + n >= rank && n > 0 {
+            let f = (((rank - cum) as f64 - 0.5) / n as f64).clamp(0.0, 1.0);
+            return Some(10f64.powf(i as f64 - 8.0 + f));
+        }
+        cum += n;
+    }
+    None
+}
+
+/// The `p50`/`p95` percentile estimates of a `counters`-record histogram
+/// object (`None` when empty or malformed). Shared by the report below
+/// and by `cst-obs` run summaries, so both quote identical estimates.
+pub fn hist_percentiles(hist: &Value) -> Option<(f64, f64)> {
+    let buckets: Vec<u64> =
+        hist.get("buckets").and_then(Value::as_arr)?.iter().filter_map(Value::as_u64).collect();
+    Some((hist_percentile(&buckets, 0.5)?, hist_percentile(&buckets, 0.95)?))
+}
+
+fn render_hist(out: &mut String, label: &str, h: &Value) {
+    if uint(h, "count") == 0 {
+        return;
+    }
+    let _ = writeln!(
+        out,
+        "{label}: n={} mean={:.4} min={:.4} max={:.4}",
+        uint(h, "count"),
+        num(h, "sum").unwrap_or(0.0) / uint(h, "count") as f64,
+        num(h, "min").unwrap_or(0.0),
+        num(h, "max").unwrap_or(0.0)
+    );
+    if let Some((p50, p95)) = hist_percentiles(h) {
+        let _ = writeln!(
+            out,
+            "  percentiles: p50~{p50:.4} p95~{p95:.4} max={:.4}",
+            num(h, "max").unwrap_or(0.0)
+        );
+    }
+}
+
 /// Render a journal (one JSON record per line) to the report text.
 /// Validates the journal first, so a malformed line is an error, not a
 /// garbled table.
 pub fn render_report(lines: &[String]) -> Result<String, String> {
     let summary = schema::validate_journal(lines)?;
+    // A journal that only opens and closes (no spans, iterations, outcomes
+    // or any other pipeline record) has nothing to report; rendering its
+    // empty tables would read as "the run did nothing and that is fine".
+    let vacuous = summary
+        .types_seen
+        .iter()
+        .all(|t| matches!(t.as_str(), "journal_start" | "run_meta" | "counters" | "journal_end"));
+    if vacuous {
+        return Err(
+            "journal is header-only (no pipeline records); was the run aborted before tuning?"
+                .to_string(),
+        );
+    }
     let records: Vec<Value> = lines.iter().map(|l| json::parse(l).expect("validated")).collect();
     let of_type = |ty: &str| -> Vec<&Value> {
         records.iter().filter(|r| r.get("type").and_then(Value::as_str) == Some(ty)).collect()
@@ -166,16 +233,10 @@ pub fn render_report(lines: &[String]) -> Result<String, String> {
             uint(c, "pmnf_fits")
         );
         if let Some(h) = c.get("hist_pmnf_rse") {
-            if uint(h, "count") > 0 {
-                let _ = writeln!(
-                    out,
-                    "pmnf rse: n={} mean={:.4} min={:.4} max={:.4}",
-                    uint(h, "count"),
-                    num(h, "sum").unwrap_or(0.0) / uint(h, "count") as f64,
-                    num(h, "min").unwrap_or(0.0),
-                    num(h, "max").unwrap_or(0.0)
-                );
-            }
+            render_hist(&mut out, "pmnf rse", h);
+        }
+        if let Some(h) = c.get("hist_eval_time_ms") {
+            render_hist(&mut out, "eval time (ms)", h);
         }
     }
 
@@ -217,13 +278,16 @@ mod tests {
             candidates = 96u32,
             kept = 24u32
         );
-        event!(tel, "iteration", iteration = 1u32, v_s = 3.0, best_ms = 4.5);
-        event!(tel, "iteration", iteration = 2u32, v_s = 6.0, best_ms = 3.9);
+        event!(tel, "iteration", iteration = 1u32, v_s = 3.0, best_ms = 4.5, evals = 24u32);
+        event!(tel, "iteration", iteration = 2u32, v_s = 6.0, best_ms = 3.9, evals = 48u32);
         event!(tel, "group_pinned", group = 0u32, iteration = 2u32, v_s = 6.0);
         sp.end(9.5);
         tel.add(crate::Counter::EvalsAttempted, 128);
         tel.add(crate::Counter::EvalsCommitted, 120);
         tel.add(crate::Counter::MemoHits, 8);
+        for v in [0.5, 2.0, 4.0, 8.0, 40.0] {
+            tel.observe(crate::Hist::EvalTimeMs, v);
+        }
         tel.finish(9.5);
         tel.lines().unwrap()
     }
@@ -231,7 +295,7 @@ mod tests {
     #[test]
     fn renders_all_sections() {
         let text = render_report(&sample_journal()).unwrap();
-        assert!(text.contains("run journal: schema 1"));
+        assert!(text.contains("run journal: schema 2"));
         assert!(text.contains("meta: stencil=j3d7pt"));
         assert!(text.contains("sampling"));
         assert!(text.contains("search"));
@@ -240,6 +304,40 @@ mod tests {
         assert!(text.contains("kept 24/96 candidates"));
         assert!(text.contains("128 attempted, 120 committed (8 memo hits"));
         assert!(text.contains("faults: none"));
+        assert!(text.contains("eval time (ms): n=5"), "{text}");
+        assert!(text.contains("percentiles: p50~"), "{text}");
+    }
+
+    #[test]
+    fn header_only_journal_is_an_error() {
+        let tel = Telemetry::in_memory();
+        tel.meta(&[crate::Field::new("stencil", crate::FieldValue::Str("j3d7pt"))]);
+        tel.finish(0.0);
+        let err = render_report(&tel.lines().unwrap()).unwrap_err();
+        assert!(err.contains("header-only"), "{err}");
+    }
+
+    #[test]
+    fn percentiles_interpolate_log_buckets() {
+        assert_eq!(hist_percentile(&[0; 16], 0.5), None);
+        // A lone observation lands on its bucket's geometric midpoint:
+        // bucket 8 covers [1, 10), midpoint 10^0.5.
+        let mut b = [0u64; 16];
+        b[8] = 1;
+        let p = hist_percentile(&b, 0.5).unwrap();
+        assert!((p - 10f64.sqrt()).abs() < 1e-12, "{p}");
+        // With observations split across two buckets, p95 must come from
+        // the upper one and p50 from the lower.
+        let mut b = [0u64; 16];
+        b[8] = 10;
+        b[10] = 1;
+        let p50 = hist_percentile(&b, 0.5).unwrap();
+        let p95 = hist_percentile(&b, 0.95).unwrap();
+        assert!((1.0..10.0).contains(&p50), "{p50}");
+        assert!((100.0..1000.0).contains(&p95), "{p95}");
+        // The estimator is monotone in q.
+        assert!(p50 <= p95);
+        assert_eq!(hist_percentile(&b, 0.0), None);
     }
 
     #[test]

@@ -61,6 +61,7 @@ pub const EVENT_TYPES: &[(&str, &[(&str, FieldKind)])] = &[
             ("iteration", FieldKind::Num),
             ("v_s", FieldKind::Num),
             ("best_ms", FieldKind::NumOrNull),
+            ("evals", FieldKind::Num),
         ],
     ),
     (
@@ -221,7 +222,7 @@ mod tests {
             kept = 24u32
         );
         event!(tel, "codegen", kernels = 16u32, bytes = 48_000u64);
-        event!(tel, "iteration", iteration = 1u32, v_s = 2.5, best_ms = 3.25);
+        event!(tel, "iteration", iteration = 1u32, v_s = 2.5, best_ms = 3.25, evals = 40u32);
         event!(tel, "group_pinned", group = 1u32, iteration = 4u32, v_s = 9.0);
         let best = [1.5, f64::NAN];
         event!(
@@ -290,13 +291,13 @@ mod tests {
         let ok = |s: &str| s.to_string();
         // Gap in seq.
         let bad = vec![
-            ok(r#"{"type":"journal_start","seq":0,"schema":1,"source":"t"}"#),
+            ok(r#"{"type":"journal_start","seq":0,"schema":2,"source":"t"}"#),
             ok(r#"{"type":"journal_end","seq":2,"events":2,"v_s":0.0}"#),
         ];
         assert!(validate_journal(&bad).unwrap_err().contains("seq"));
         // Missing journal_end.
         let bad = vec![
-            ok(r#"{"type":"journal_start","seq":0,"schema":1,"source":"t"}"#),
+            ok(r#"{"type":"journal_start","seq":0,"schema":2,"source":"t"}"#),
             ok(r#"{"type":"run_meta","seq":1}"#),
         ];
         assert!(validate_journal(&bad).unwrap_err().contains("journal_end"));

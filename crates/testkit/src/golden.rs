@@ -126,6 +126,35 @@ pub fn preproc_trace(stencil: &str, arch: &GpuArch, opts: &TraceOptions) -> Stri
     t
 }
 
+/// Run a quick instrumented csTuner session and return its journal with
+/// wall-clock fields stripped — the deterministic core the `cst-obs`
+/// golden fixtures summarize and diff. The fault profile is explicit
+/// (never read from the environment), so the journal is byte-stable
+/// under the fault-injection CI leg too.
+pub fn quick_tune_journal(stencil: &str, arch: &GpuArch, opts: &TraceOptions) -> Vec<String> {
+    let spec =
+        cst_stencil::spec_by_name(stencil).unwrap_or_else(|| panic!("unknown stencil `{stencil}`"));
+    let tel = cst_telemetry::Telemetry::in_memory();
+    let mut eval =
+        SimEvaluator::new(spec, arch.clone(), opts.seed).with_fault_profile(opts.profile);
+    eval.set_telemetry(&tel);
+    let cfg = CsTunerConfig {
+        dataset_size: opts.dataset_size,
+        max_iterations: opts.max_iterations,
+        codegen_cap: 16,
+        ..Default::default()
+    };
+    let out =
+        CsTuner::new(cfg).tune_with_telemetry(&mut eval, opts.seed, &tel).expect("quick tune");
+    cstuner_core::journal_outcome(&tel, &out);
+    tel.finish(out.search_s);
+    tel.lines()
+        .expect("in-memory sink")
+        .iter()
+        .map(|l| cst_telemetry::strip_wall_fields(l))
+        .collect()
+}
+
 fn fixture_path(name: &str) -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fixtures").join(format!("{name}.txt"))
 }

@@ -32,7 +32,9 @@ pub use gen::{
     arb_fault_profile, arb_setting, decode_genes, genome_cards, raw_settings, seeded_rng,
     valid_settings, SettingStrategy,
 };
-pub use golden::{check_golden, hex_bits, preproc_trace, quick_tune_trace, TraceOptions};
+pub use golden::{
+    check_golden, hex_bits, preproc_trace, quick_tune_journal, quick_tune_trace, TraceOptions,
+};
 pub use oracle::{
     batch_vs_serial, fault_run_determinism, journal_transparency, memo_transparency,
     zero_fault_transparency,

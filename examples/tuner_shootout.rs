@@ -9,9 +9,12 @@
 //! ```
 //!
 //! With `CST_JOURNAL=dir` set, each tuner's seed-0 run writes a
-//! comparable run journal to `dir/<tuner>.jsonl` — feed any of them to
-//! `cstuner report` to compare convergence side by side.
+//! comparable run journal to `dir/<tuner>.jsonl`, every journal is
+//! ingested into the observatory archive at `dir/obs/`, and the run is
+//! capped with the cross-tuner `obs` dashboard — feed any journal to
+//! `cstuner report`, or any pair of summaries to `cstuner obs diff`.
 
+use cstuner::obs::{render_dashboard, JournalStore};
 use cstuner::prelude::*;
 use cstuner::telemetry::{Field, FieldValue};
 
@@ -77,4 +80,24 @@ fn main() {
         );
     }
     println!("\n(lower is better; 'worst' exposes the stability argument of §V-B)");
+
+    // Archive every journal this shootout wrote and render the cross-tuner
+    // observatory dashboard — one `obs ingest` + `obs dashboard` in-process.
+    if let Some(dir) = journal_dir {
+        let store =
+            JournalStore::open(&std::path::Path::new(&dir).join("obs")).expect("open obs store");
+        let mut entries: Vec<_> = std::fs::read_dir(&dir)
+            .expect("list journal dir")
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|x| x == "jsonl"))
+            .collect();
+        entries.sort();
+        for journal in entries {
+            store.ingest_file(&journal, None).expect("ingest journal");
+        }
+        let summaries = store.load_all().expect("load archive");
+        println!();
+        print!("{}", render_dashboard(&summaries));
+        println!("\n(archive: {} — compare pairs with `cstuner obs diff`)", store.dir().display());
+    }
 }

@@ -6,23 +6,35 @@
 //!               [--tuner cstuner|garvey|opentuner|artemis|random]
 //!               [--quick] [--journal run.jsonl]
 //! cstuner codegen --stencil cheby [--arch a100] [--budget 60] [--out k.cu]
-//! cstuner report run.jsonl                       # render a run journal
+//! cstuner report run.jsonl [--json]              # render a run journal
 //! cstuner journal-check run.jsonl                # schema-validate a journal
+//! cstuner obs ingest J.jsonl... [--store DIR] [--name N]   # archive runs
+//! cstuner obs diff BASE CAND                     # compare two runs
+//! cstuner obs gate BASE CAND [--save FILE]       # drift gate (exit 1 on regress)
+//! cstuner obs dashboard [--store DIR]            # whole-archive table
 //! ```
 //!
 //! `tune` runs one iso-time tuning session and prints the outcome;
 //! `codegen` additionally emits the winning CUDA kernel. `--journal`
 //! (or the `CST_JOURNAL` env var) writes a JSONL run journal; `report`
-//! and `journal-check` consume one. Invoking `cstuner --quick ...` with
-//! no subcommand is shorthand for `cstuner tune --quick ...`.
+//! and `journal-check` consume one. The `obs` family is the cross-run
+//! observatory: `ingest` archives journals as versioned summaries under a
+//! store directory (`results/obs` by default), `diff`/`gate`/`dashboard`
+//! compare them (each run argument may be a `*.summary.json` or a raw
+//! journal). Invoking `cstuner --quick ...` with no subcommand is
+//! shorthand for `cstuner tune --quick ...`.
 
+use cstuner::obs::{self, DriftPolicy, JournalStore};
 use cstuner::prelude::*;
 use cstuner::stencil::{suite, suite_ext};
 use cstuner::telemetry::{report, schema, Field, FieldValue};
 use std::collections::HashMap;
+use std::path::Path;
 
-fn parse_flags(args: &[String]) -> HashMap<String, String> {
+/// Split an argument list into `--key [value]` flags and positionals.
+fn parse_args(args: &[String]) -> (HashMap<String, String>, Vec<String>) {
     let mut flags = HashMap::new();
+    let mut positionals = Vec::new();
     let mut i = 0;
     while i < args.len() {
         if let Some(key) = args[i].strip_prefix("--") {
@@ -39,10 +51,15 @@ fn parse_flags(args: &[String]) -> HashMap<String, String> {
                 }
             }
         } else {
+            positionals.push(args[i].clone());
             i += 1;
         }
     }
-    flags
+    (flags, positionals)
+}
+
+fn parse_flags(args: &[String]) -> HashMap<String, String> {
+    parse_args(args).0
 }
 
 fn all_stencils() -> Vec<StencilKernel> {
@@ -203,6 +220,106 @@ fn read_journal_lines(args: &[String]) -> Vec<String> {
     text.lines().map(str::to_string).collect()
 }
 
+fn obs_usage() -> ! {
+    eprintln!(
+        "usage: cstuner obs <command>\n  \
+         obs ingest <journal.jsonl>... [--store DIR] [--name NAME]   archive runs as summaries\n  \
+         obs diff <baseline> <candidate>                             compare two runs\n  \
+         obs gate <baseline> <candidate> [--save FILE]               drift gate (exit 1 on regress)\n  \
+         obs dashboard [--store DIR] [--save FILE]                   whole-archive table\n\
+         run arguments accept a *.summary.json or a raw JSONL journal; \
+         the store defaults to results/obs"
+    );
+    std::process::exit(2);
+}
+
+fn obs_load(path: &str) -> obs::RunSummary {
+    obs::load_run(Path::new(path)).unwrap_or_else(|e| {
+        eprintln!("cannot load run `{path}`: {e}");
+        std::process::exit(2);
+    })
+}
+
+/// The `cstuner obs` family: journal archive, run diff, drift gate and
+/// archive dashboard.
+fn cmd_obs(args: &[String]) {
+    let sub = args.first().map(String::as_str).unwrap_or("");
+    let (flags, positionals) = parse_args(&args[1.min(args.len())..]);
+    let store_dir = flags.get("store").cloned().unwrap_or_else(|| "results/obs".to_string());
+    match sub {
+        "ingest" => {
+            if positionals.is_empty() {
+                obs_usage();
+            }
+            if flags.contains_key("name") && positionals.len() > 1 {
+                eprintln!("--name only applies to a single journal");
+                std::process::exit(2);
+            }
+            let store = JournalStore::open(Path::new(&store_dir)).unwrap_or_else(|e| {
+                eprintln!("{e}");
+                std::process::exit(2);
+            });
+            for journal in &positionals {
+                let name = flags.get("name").map(String::as_str);
+                match store.ingest_file(Path::new(journal), name) {
+                    Ok(s) => println!(
+                        "ingested {} -> {} (best {:.4} ms, {} evals)",
+                        journal,
+                        store.path_of(&s.source).display(),
+                        s.best_ms,
+                        s.evaluations
+                    ),
+                    Err(e) => {
+                        eprintln!("cannot ingest `{journal}`: {e}");
+                        std::process::exit(1);
+                    }
+                }
+            }
+        }
+        "diff" => {
+            let [base, cand] = positionals.as_slice() else { obs_usage() };
+            let diff = obs::diff_runs(&obs_load(base), &obs_load(cand));
+            print!("{}", obs::render_diff(&diff));
+        }
+        "gate" => {
+            let [base, cand] = positionals.as_slice() else { obs_usage() };
+            let diff = obs::diff_runs(&obs_load(base), &obs_load(cand));
+            let policy = DriftPolicy::default();
+            let gate = obs::evaluate_gate(&diff, &policy);
+            let dashboard = obs::render_gate_dashboard(&gate, &policy);
+            print!("{dashboard}");
+            println!("{}", obs::verdict_json(&gate));
+            if let Some(path) = flags.get("save").filter(|p| !p.is_empty()) {
+                let saved = format!("{dashboard}{}\n", obs::verdict_json(&gate));
+                std::fs::write(path, saved).unwrap_or_else(|e| {
+                    eprintln!("cannot write `{path}`: {e}");
+                    std::process::exit(2);
+                });
+            }
+            std::process::exit(gate.exit_code());
+        }
+        "dashboard" => {
+            let store = JournalStore::open(Path::new(&store_dir)).unwrap_or_else(|e| {
+                eprintln!("{e}");
+                std::process::exit(2);
+            });
+            let summaries = store.load_all().unwrap_or_else(|e| {
+                eprintln!("{e}");
+                std::process::exit(1);
+            });
+            let text = obs::render_dashboard(&summaries);
+            print!("{text}");
+            if let Some(path) = flags.get("save").filter(|p| !p.is_empty()) {
+                std::fs::write(path, &text).unwrap_or_else(|e| {
+                    eprintln!("cannot write `{path}`: {e}");
+                    std::process::exit(2);
+                });
+            }
+        }
+        _ => obs_usage(),
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cmd = args.first().map(String::as_str).unwrap_or("help");
@@ -228,11 +345,23 @@ fn main() {
         }
         "report" => {
             let lines = read_journal_lines(rest);
-            match report::render_report(&lines) {
-                Ok(text) => print!("{text}"),
-                Err(e) => {
-                    eprintln!("invalid journal: {e}");
-                    std::process::exit(1);
+            if flags.contains_key("json") {
+                // Machine-readable form: the same versioned RunSummary the
+                // obs archive stores, as one JSON object.
+                match obs::summarize("report", &lines) {
+                    Ok(summary) => println!("{}", summary.to_json()),
+                    Err(e) => {
+                        eprintln!("invalid journal: {e}");
+                        std::process::exit(1);
+                    }
+                }
+            } else {
+                match report::render_report(&lines) {
+                    Ok(text) => print!("{text}"),
+                    Err(e) => {
+                        eprintln!("invalid journal: {e}");
+                        std::process::exit(1);
+                    }
                 }
             }
         }
@@ -253,8 +382,9 @@ fn main() {
                 }
             }
         }
+        "obs" => cmd_obs(rest),
         _ => {
-            eprintln!("usage: cstuner <list|tune|codegen|report|journal-check> [--stencil S] [--arch a100|v100] [--budget SECONDS] [--seed N] [--tuner T] [--quick] [--journal FILE] [--out FILE]");
+            eprintln!("usage: cstuner <list|tune|codegen|report|journal-check|obs> [--stencil S] [--arch a100|v100] [--budget SECONDS] [--seed N] [--tuner T] [--quick] [--journal FILE] [--out FILE]");
         }
     }
 }

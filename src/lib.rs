@@ -16,6 +16,8 @@
 //! - [`core`] — the csTuner pipeline: grouping, sampling, evolutionary
 //!   search with approximation.
 //! - [`baselines`] — Garvey / OpenTuner-style / Artemis-style tuners.
+//! - [`obs`] — cross-run regression observatory: journal archive,
+//!   run-diff engine, drift detection, and the CI perf gate.
 //!
 //! ## Quickstart
 //!
@@ -41,6 +43,7 @@ pub use cst_codegen as codegen;
 pub use cst_ga as ga;
 pub use cst_gpu_sim as sim;
 pub use cst_ml as ml;
+pub use cst_obs as obs;
 pub use cst_space as space;
 pub use cst_stats as stats;
 pub use cst_stencil as stencil;
