@@ -29,6 +29,39 @@ pub fn serial_mode() -> bool {
         || rayon::current_num_threads() <= 1
 }
 
+/// A shared cancellation flag for one tuning session.
+///
+/// Cloning yields another handle onto the same flag. An evaluator with a
+/// token attached reports [`Evaluator::expired`] once the token is
+/// cancelled, so every search driver winds down at its next budget check
+/// — exactly the code path an exhausted iso-time budget takes — and the
+/// session still reports its best-so-far outcome. This is the hook the
+/// serving layer uses to cancel an in-flight session without killing its
+/// worker thread.
+///
+/// Cancellation is monotone (there is no "uncancel") and checking is a
+/// single relaxed atomic load, so attaching a token costs nothing
+/// measurable on the evaluation hot path.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(std::sync::Arc<std::sync::atomic::AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Request cancellation. Idempotent.
+    pub fn cancel(&self) {
+        self.0.store(true, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(std::sync::atomic::Ordering::Relaxed)
+    }
+}
+
 /// Access to the stencil, the space, validity, and (costed) measurement.
 pub trait Evaluator {
     /// The stencil under tuning.
@@ -121,6 +154,7 @@ pub struct SimEvaluator {
     fault_stats: FaultStats,
     quarantine: HashSet<Setting>,
     tel: Telemetry,
+    cancel: Option<CancelToken>,
 }
 
 impl SimEvaluator {
@@ -139,7 +173,15 @@ impl SimEvaluator {
             fault_stats: FaultStats::default(),
             quarantine: HashSet::new(),
             tel: Telemetry::noop(),
+            cancel: None,
         }
+    }
+
+    /// Attach a cancellation token: once cancelled, [`Evaluator::expired`]
+    /// reports true and the session winds down exactly as if its iso-time
+    /// budget had run out. The default is no token (never cancelled).
+    pub fn set_cancel_token(&mut self, token: CancelToken) {
+        self.cancel = Some(token);
     }
 
     /// Attach a telemetry handle: the measurement path then maintains the
@@ -346,6 +388,10 @@ impl Evaluator for SimEvaluator {
         &self.clock
     }
 
+    fn expired(&self) -> bool {
+        self.clock.expired() || self.cancel.as_ref().is_some_and(CancelToken::is_cancelled)
+    }
+
     fn unique_evaluations(&self) -> u64 {
         self.unique
     }
@@ -393,6 +439,37 @@ mod tests {
         assert_eq!(t1, t2, "memoized measurement must be stable");
         assert_eq!(e.clock().now_s(), after_first, "repeat must be free");
         assert_eq!(e.unique_evaluations(), 1);
+    }
+
+    #[test]
+    fn cancel_token_reads_as_expiry_without_touching_the_clock() {
+        let mut e = eval();
+        let token = CancelToken::new();
+        e.set_cancel_token(token.clone());
+        assert!(!e.expired());
+        e.evaluate(&Setting::baseline());
+        let t_before = e.clock().now_s();
+        token.cancel();
+        assert!(token.is_cancelled());
+        assert!(e.expired(), "a cancelled session must read as expired");
+        assert_eq!(e.clock().now_s(), t_before, "cancellation charges nothing");
+        // Memoized repeats still answer (drivers may consult the best-so-far).
+        assert!(e.evaluate(&Setting::baseline()).is_finite());
+    }
+
+    #[test]
+    fn cancelled_session_still_reports_best_so_far() {
+        use crate::pipeline::{CsTuner, CsTunerConfig, Tuner};
+        let spec = suite::spec_by_name("j3d7pt").unwrap();
+        let mut e = SimEvaluator::new(spec, GpuArch::a100(), 3);
+        let token = CancelToken::new();
+        e.set_cancel_token(token.clone());
+        token.cancel();
+        // Cancelled before the search stage: the pipeline reports the
+        // budget-too-small failure path rather than panicking or looping.
+        let cfg = CsTunerConfig { dataset_size: 32, codegen_cap: 4, ..Default::default() };
+        let out = CsTuner::new(cfg).tune(&mut e, 3);
+        assert!(out.is_err(), "pre-search cancellation is a clean failure");
     }
 
     #[test]

@@ -38,7 +38,7 @@ pub mod search;
 pub use batch::{BatchEvaluator, BatchStats};
 pub use cst_gpu_sim::{FaultKind, FaultProfile, FaultStats};
 pub use dataset::{DatasetRecord, PerfDataset};
-pub use evaluator::{Evaluator, SimEvaluator};
+pub use evaluator::{CancelToken, Evaluator, SimEvaluator};
 pub use grouping::{group_from_dataset, group_parameters, is_partition, pairwise_cv, PairCv};
 pub use metric_comb::{combine_metrics, select_representatives};
 pub use pipeline::{

@@ -53,7 +53,10 @@ impl JournalStore {
     pub fn ingest_file(&self, journal: &Path, name: Option<&str>) -> Result<RunSummary, String> {
         let lines = read_jsonl(journal)?;
         let stem = journal.file_stem().and_then(|s| s.to_str()).unwrap_or("run");
+        // Summarize errors carry `line N:`; prefix the journal path so a
+        // failed sweep ingest names the offending file.
         self.ingest_lines(name.unwrap_or(stem), &lines)
+            .map_err(|e| format!("{}: {e}", journal.display()))
     }
 
     /// Load one archived summary by name.
@@ -61,7 +64,8 @@ impl JournalStore {
         let path = self.path_of(name);
         let text = fs::read_to_string(&path)
             .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
-        RunSummary::from_json(&text).map_err(|e| format!("{}: {e}", path.display()))
+        // A summary is one JSON object on its first line.
+        RunSummary::from_json(&text).map_err(|e| format!("{}: line 1: {e}", path.display()))
     }
 
     /// Names of every archived run, sorted for deterministic iteration.
@@ -102,9 +106,10 @@ pub fn load_run(path: &Path) -> Result<RunSummary, String> {
     if first.contains("\"type\":\"journal_start\"") {
         let lines: Vec<String> = text.lines().map(str::to_string).collect();
         let stem = path.file_stem().and_then(|s| s.to_str()).unwrap_or("run");
-        summarize(stem, &lines)
+        // Validation errors carry `line N:`; prefix the file path.
+        summarize(stem, &lines).map_err(|e| format!("{}: {e}", path.display()))
     } else {
-        RunSummary::from_json(&text).map_err(|e| format!("{}: {e}", path.display()))
+        RunSummary::from_json(&text).map_err(|e| format!("{}: line 1: {e}", path.display()))
     }
 }
 
@@ -175,6 +180,32 @@ mod tests {
         assert!(store.load("nope").is_err());
         fs::write(store.path_of("bad"), "not json").unwrap();
         assert!(store.load("bad").is_err());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn parse_errors_name_the_file_and_line() {
+        let dir = tmp_dir("loc");
+        fs::create_dir_all(&dir).unwrap();
+        // A journal whose second line is corrupt.
+        let mut lines = journal();
+        lines[1] = "{broken".to_string();
+        let jpath = dir.join("corrupt.jsonl");
+        fs::write(&jpath, lines.join("\n")).unwrap();
+        let err = load_run(&jpath).unwrap_err();
+        assert!(err.contains("corrupt.jsonl"), "{err}");
+        assert!(err.contains("line 2"), "{err}");
+        let store = JournalStore::open(&dir).unwrap();
+        let err = store.ingest_file(&jpath, None).unwrap_err();
+        assert!(err.contains("corrupt.jsonl") && err.contains("line 2"), "{err}");
+        // A corrupt summary points at its (single) line.
+        let spath = dir.join("bad.summary.json");
+        fs::write(&spath, "{}").unwrap();
+        let err = load_run(&spath).unwrap_err();
+        assert!(err.contains("bad.summary.json"), "{err}");
+        assert!(err.contains("line 1"), "{err}");
+        let err = store.load("bad").unwrap_err();
+        assert!(err.contains("bad.summary.json") && err.contains("line 1"), "{err}");
         let _ = fs::remove_dir_all(&dir);
     }
 }

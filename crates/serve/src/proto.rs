@@ -1,0 +1,365 @@
+//! The wire protocol: newline-delimited JSON frames over TCP.
+//!
+//! One connection carries one request and its reply stream. The server
+//! greets with a `hello` frame (protocol, crate and journal-schema
+//! versions, so clients can negotiate compatibility), reads exactly one
+//! request line, and answers with control frames interleaved — for a
+//! `tune` — with the session's raw journal records, verbatim as
+//! `--journal` would have written them. Control frame types are disjoint
+//! from the journal's closed event-type registry, so a client splits the
+//! stream with [`is_protocol_frame`] alone.
+//!
+//! All frames are produced through the telemetry crate's canonical JSON
+//! writer ([`cst_telemetry::json`]), so float formatting and string
+//! escaping are byte-deterministic across the whole workspace.
+
+use crate::session::{DoneInfo, FaultSpec, TuneRequest};
+use cst_telemetry::json::{self, write_escaped, write_f64, Value};
+use std::fmt::Write as _;
+
+/// Wire-protocol version, negotiated via the `hello` frame.
+pub const PROTO_VERSION: u64 = 1;
+
+/// Control frame types the server may emit. Deliberately disjoint from
+/// the journal schema's event-type registry
+/// ([`cst_telemetry::schema::EVENT_TYPES`]): any streamed line whose
+/// type is not listed here is a journal record.
+pub const PROTOCOL_FRAME_TYPES: [&str; 7] =
+    ["hello", "accepted", "busy", "error", "session", "session_done", "bye"];
+
+/// The `type` of one streamed line, if it parses as a JSON object.
+pub fn frame_type(line: &str) -> Option<String> {
+    json::parse(line).ok()?.get("type")?.as_str().map(str::to_string)
+}
+
+/// Whether a streamed line is a control frame (vs. a journal record).
+pub fn is_protocol_frame(line: &str) -> bool {
+    frame_type(line).is_some_and(|t| PROTOCOL_FRAME_TYPES.contains(&t.as_str()))
+}
+
+/// A parsed client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Submit a tuning session.
+    Tune(TuneRequest),
+    /// One-shot state of a session.
+    Status {
+        /// Session id.
+        session: u64,
+    },
+    /// Replay-and-follow a session's stream (works on queued, running
+    /// and finished sessions alike).
+    Watch {
+        /// Session id.
+        session: u64,
+    },
+    /// Cancel a queued or running session.
+    Cancel {
+        /// Session id.
+        session: u64,
+    },
+    /// Drain every admitted session, then stop the daemon.
+    Shutdown,
+}
+
+fn opt_str<'v>(v: &'v Value, key: &str) -> Result<Option<&'v str>, String> {
+    match v.get(key) {
+        None | Some(Value::Null) => Ok(None),
+        Some(x) => x
+            .as_str()
+            .map(Some)
+            .ok_or_else(|| format!("`{key}` must be a string, got {}", x.kind())),
+    }
+}
+
+fn opt_u64(v: &Value, key: &str) -> Result<Option<u64>, String> {
+    match v.get(key) {
+        None | Some(Value::Null) => Ok(None),
+        Some(x) => x
+            .as_u64()
+            .map(Some)
+            .ok_or_else(|| format!("`{key}` must be a non-negative integer, got {}", x.kind())),
+    }
+}
+
+fn opt_f64(v: &Value, key: &str) -> Result<Option<f64>, String> {
+    match v.get(key) {
+        None | Some(Value::Null) => Ok(None),
+        Some(x) => x
+            .as_f64()
+            .map(Some)
+            .ok_or_else(|| format!("`{key}` must be a number, got {}", x.kind())),
+    }
+}
+
+fn parse_fault(v: &Value) -> Result<Option<FaultSpec>, String> {
+    match v.get("fault") {
+        None | Some(Value::Null) => Ok(None),
+        Some(Value::Str(s)) if s == "off" => Ok(Some(FaultSpec::Off)),
+        Some(Value::Str(s)) if s == "env" => Ok(None),
+        Some(obj @ Value::Obj(_)) => {
+            let seed = obj.get("seed").and_then(Value::as_u64).ok_or_else(|| {
+                "`fault` object requires a non-negative integer `seed`".to_string()
+            })?;
+            Ok(Some(FaultSpec::Hostile { seed }))
+        }
+        Some(x) => {
+            Err(format!("`fault` must be \"off\", \"env\" or {{\"seed\":N}}, got {}", x.kind()))
+        }
+    }
+}
+
+fn parse_tune(v: &Value) -> Result<TuneRequest, String> {
+    let quick = match v.get("quick") {
+        None | Some(Value::Null) => false,
+        Some(Value::Bool(b)) => *b,
+        Some(x) => return Err(format!("`quick` must be a bool, got {}", x.kind())),
+    };
+    TuneRequest::build(
+        opt_str(v, "stencil")?,
+        opt_str(v, "arch")?,
+        opt_str(v, "tuner")?,
+        opt_u64(v, "seed")?,
+        opt_f64(v, "budget_s")?,
+        quick,
+        parse_fault(v)?,
+    )
+}
+
+/// Parse one request line. Unknown commands, malformed JSON and invalid
+/// tuning parameters all come back as one-line error messages suitable
+/// for an `error` frame.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let v = json::parse(line).map_err(|e| format!("malformed request: {e}"))?;
+    let cmd = v
+        .get("cmd")
+        .and_then(Value::as_str)
+        .ok_or_else(|| "request is missing a string `cmd`".to_string())?;
+    match cmd {
+        "tune" => parse_tune(&v).map(Request::Tune),
+        "status" | "watch" | "cancel" => {
+            let session = v
+                .get("session")
+                .and_then(Value::as_u64)
+                .ok_or_else(|| format!("`{cmd}` requires a non-negative integer `session`"))?;
+            Ok(match cmd {
+                "status" => Request::Status { session },
+                "watch" => Request::Watch { session },
+                _ => Request::Cancel { session },
+            })
+        }
+        "shutdown" => Ok(Request::Shutdown),
+        other => Err(format!("unknown cmd `{other}` (tune|status|watch|cancel|shutdown)")),
+    }
+}
+
+/// Serialize a tune request. Every field of the (already validated and
+/// defaulted) request is written explicitly, so what the daemon admits
+/// is exactly what the client resolved locally.
+pub fn tune_request_line(req: &TuneRequest) -> String {
+    let mut s = String::from("{\"cmd\":\"tune\",\"stencil\":");
+    write_escaped(&mut s, &req.stencil);
+    s.push_str(",\"arch\":");
+    write_escaped(&mut s, &req.arch);
+    s.push_str(",\"tuner\":");
+    write_escaped(&mut s, &req.tuner);
+    let _ = write!(s, ",\"seed\":{}", req.seed);
+    s.push_str(",\"budget_s\":");
+    write_f64(&mut s, req.budget_s);
+    let _ = write!(s, ",\"quick\":{}", req.quick);
+    match req.fault {
+        None => {}
+        Some(FaultSpec::Off) => s.push_str(",\"fault\":\"off\""),
+        Some(FaultSpec::Hostile { seed }) => {
+            let _ = write!(s, ",\"fault\":{{\"seed\":{seed}}}");
+        }
+    }
+    s.push('}');
+    s
+}
+
+/// Serialize a `status`/`watch`/`cancel` request.
+pub fn session_request_line(cmd: &str, session: u64) -> String {
+    format!("{{\"cmd\":\"{cmd}\",\"session\":{session}}}")
+}
+
+/// Serialize the `shutdown` request.
+pub fn shutdown_request_line() -> String {
+    "{\"cmd\":\"shutdown\"}".to_string()
+}
+
+/// The greeting frame sent on every accepted connection.
+pub fn hello_frame() -> String {
+    format!(
+        "{{\"type\":\"hello\",\"proto\":{PROTO_VERSION},\"service\":\"cst-serve\",\
+         \"version\":\"{}\",\"schema\":{}}}",
+        env!("CARGO_PKG_VERSION"),
+        cst_telemetry::SCHEMA_VERSION
+    )
+}
+
+/// Admission acknowledgment for a tune request.
+pub fn accepted_frame(session: u64) -> String {
+    format!("{{\"type\":\"accepted\",\"session\":{session},\"state\":\"queued\"}}")
+}
+
+/// Typed admission rejection: the worker pool and queue are full.
+pub fn busy_frame(running: usize, queued: usize, limit: usize) -> String {
+    format!("{{\"type\":\"busy\",\"running\":{running},\"queued\":{queued},\"limit\":{limit}}}")
+}
+
+/// A request-level error (bad request line, unknown session, …).
+pub fn error_frame(message: &str) -> String {
+    let mut s = String::from("{\"type\":\"error\",\"message\":");
+    write_escaped(&mut s, message);
+    s.push('}');
+    s
+}
+
+/// One-shot session state (reply to `status` and `cancel`).
+pub fn session_frame(session: u64, state: &str, records: usize) -> String {
+    format!("{{\"type\":\"session\",\"session\":{session},\"state\":\"{state}\",\"records\":{records}}}")
+}
+
+/// Terminal frame of a streamed session: the outcome summary for a
+/// `done` session, the failure message otherwise.
+pub fn session_done_frame(
+    session: u64,
+    state: &str,
+    done: Option<&DoneInfo>,
+    error: Option<&str>,
+) -> String {
+    let mut s = format!("{{\"type\":\"session_done\",\"session\":{session},\"state\":\"{state}\"");
+    if let Some(d) = done {
+        s.push_str(",\"tuner\":");
+        write_escaped(&mut s, &d.tuner);
+        s.push_str(",\"best_ms\":");
+        write_f64(&mut s, d.best_ms);
+        s.push_str(",\"baseline_ms\":");
+        write_f64(&mut s, d.baseline_ms);
+        s.push_str(",\"setting\":");
+        write_escaped(&mut s, &d.setting);
+        let _ = write!(s, ",\"evaluations\":{}", d.evaluations);
+        s.push_str(",\"search_s\":");
+        write_f64(&mut s, d.search_s);
+        let f = &d.faults;
+        let _ = write!(
+            s,
+            ",\"fault_compile\":{},\"fault_launch\":{},\"fault_timeout\":{},\
+             \"fault_outliers\":{},\"fault_retries\":{},\"fault_quarantined\":{}",
+            f.compile_errors, f.launch_failures, f.timeouts, f.outliers, f.retries, f.quarantined
+        );
+    }
+    if let Some(e) = error {
+        s.push_str(",\"error\":");
+        write_escaped(&mut s, e);
+    }
+    s.push('}');
+    s
+}
+
+/// Farewell after a shutdown drain.
+pub fn bye_frame(sessions_completed: u64) -> String {
+    format!("{{\"type\":\"bye\",\"sessions_completed\":{sessions_completed}}}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tune_request_round_trips_through_the_writer_and_parser() {
+        let req = TuneRequest::build(
+            Some("j3d7pt"),
+            Some("v100"),
+            Some("random"),
+            Some(9),
+            Some(12.5),
+            true,
+            Some(FaultSpec::Hostile { seed: 7 }),
+        )
+        .unwrap();
+        let line = tune_request_line(&req);
+        match parse_request(&line).unwrap() {
+            Request::Tune(parsed) => assert_eq!(parsed, req),
+            other => panic!("expected tune, got {other:?}"),
+        }
+        let off = TuneRequest { fault: Some(FaultSpec::Off), ..req };
+        match parse_request(&tune_request_line(&off)).unwrap() {
+            Request::Tune(parsed) => assert_eq!(parsed.fault, Some(FaultSpec::Off)),
+            other => panic!("expected tune, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tune_defaults_apply_to_sparse_requests() {
+        match parse_request(r#"{"cmd":"tune","quick":true}"#).unwrap() {
+            Request::Tune(req) => {
+                assert_eq!(req.stencil, "j3d7pt");
+                assert_eq!(req.budget_s, 30.0);
+                assert_eq!(req.fault, None);
+            }
+            other => panic!("expected tune, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn invalid_requests_are_one_line_errors() {
+        assert!(parse_request("not json").unwrap_err().contains("malformed request"));
+        assert!(parse_request(r#"{"x":1}"#).unwrap_err().contains("missing a string `cmd`"));
+        assert!(parse_request(r#"{"cmd":"frob"}"#).unwrap_err().contains("unknown cmd `frob`"));
+        assert!(parse_request(r#"{"cmd":"watch"}"#).unwrap_err().contains("`session`"));
+        assert!(parse_request(r#"{"cmd":"tune","seed":"high"}"#)
+            .unwrap_err()
+            .contains("`seed` must be"));
+        assert!(parse_request(r#"{"cmd":"tune","quick":true,"fault":3.0}"#)
+            .unwrap_err()
+            .contains("`fault` must be"));
+        let unknown = parse_request(r#"{"cmd":"tune","stencil":"nope"}"#).unwrap_err();
+        assert!(unknown.contains("unknown stencil `nope`"), "{unknown}");
+    }
+
+    #[test]
+    fn session_requests_parse() {
+        assert_eq!(
+            parse_request(&session_request_line("status", 3)).unwrap(),
+            Request::Status { session: 3 }
+        );
+        assert_eq!(
+            parse_request(&session_request_line("cancel", 0)).unwrap(),
+            Request::Cancel { session: 0 }
+        );
+        assert_eq!(parse_request(&shutdown_request_line()).unwrap(), Request::Shutdown);
+    }
+
+    #[test]
+    fn control_frames_are_valid_json_and_disjoint_from_the_journal_schema() {
+        let frames = [
+            hello_frame(),
+            accepted_frame(1),
+            busy_frame(2, 3, 5),
+            error_frame("bad \"thing\""),
+            session_frame(1, "running", 42),
+            session_done_frame(1, "failed", None, Some("no valid settings to search")),
+            bye_frame(7),
+        ];
+        for frame in &frames {
+            let v = json::parse(frame).expect("frame is valid JSON");
+            let ty = v.get("type").and_then(Value::as_str).expect("frame has a type");
+            assert!(is_protocol_frame(frame), "{frame}");
+            assert!(
+                !cst_telemetry::schema::EVENT_TYPES.iter().any(|(t, _)| *t == ty),
+                "frame type `{ty}` collides with the journal schema"
+            );
+        }
+        assert!(!is_protocol_frame(r#"{"type":"iteration","seq":3}"#));
+    }
+
+    #[test]
+    fn hello_advertises_versions() {
+        let v = json::parse(&hello_frame()).unwrap();
+        assert_eq!(v.get("proto").and_then(Value::as_u64), Some(PROTO_VERSION));
+        assert_eq!(v.get("schema").and_then(Value::as_u64), Some(cst_telemetry::SCHEMA_VERSION));
+        assert!(v.get("version").and_then(Value::as_str).is_some());
+    }
+}

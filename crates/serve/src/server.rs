@@ -1,0 +1,306 @@
+//! The TCP front door: accept loop, per-connection protocol handling,
+//! graceful shutdown.
+//!
+//! One connection carries one request. The handler greets with `hello`,
+//! reads the request line, and either streams a session (`tune`,
+//! `watch`), answers a one-shot query (`status`, `cancel`), or drains
+//! the daemon (`shutdown`). The accept loop polls a nonblocking
+//! listener so a `shutdown` request can stop it promptly after the
+//! drain completes.
+
+use crate::manager::{Progress, Rejection, Session, SessionLimits, SessionManager};
+use crate::proto;
+use cst_obs::JournalStore;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Daemon configuration (`cstuner serve` flags).
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Worker threads (max concurrently running sessions).
+    pub workers: usize,
+    /// Additional sessions allowed to wait in the queue.
+    pub queue_depth: usize,
+    /// Auto-ingest finished runs into this [`JournalStore`] directory.
+    pub archive: Option<PathBuf>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        let limits = SessionLimits::default();
+        ServeConfig {
+            addr: "127.0.0.1:4815".to_string(),
+            workers: limits.workers,
+            queue_depth: limits.queue_depth,
+            archive: None,
+        }
+    }
+}
+
+/// A bound daemon: listener plus session manager. Call
+/// [`Server::start_workers`] then [`Server::serve`] (blocking), or use
+/// [`Server::spawn`] for a background instance.
+pub struct Server {
+    listener: TcpListener,
+    manager: Arc<SessionManager>,
+    stop: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Bind the listener and build the session manager (opening the
+    /// archive store, if configured).
+    pub fn bind(cfg: &ServeConfig) -> Result<Server, String> {
+        let listener =
+            TcpListener::bind(&cfg.addr).map_err(|e| format!("cannot bind {}: {e}", cfg.addr))?;
+        let archive = match &cfg.archive {
+            Some(dir) => Some(JournalStore::open(dir)?),
+            None => None,
+        };
+        let limits = SessionLimits { workers: cfg.workers.max(1), queue_depth: cfg.queue_depth };
+        Ok(Server { listener, manager: SessionManager::new(limits, archive), stop: Arc::default() })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.listener.local_addr().expect("bound listener has an address")
+    }
+
+    /// The shared session manager.
+    pub fn manager(&self) -> Arc<SessionManager> {
+        Arc::clone(&self.manager)
+    }
+
+    /// Spawn the worker pool (`limits.workers` threads over
+    /// [`SessionManager::worker_loop`]).
+    pub fn start_workers(&self) -> Vec<JoinHandle<()>> {
+        (0..self.manager.limits().workers)
+            .map(|_| {
+                let manager = self.manager();
+                std::thread::spawn(move || manager.worker_loop())
+            })
+            .collect()
+    }
+
+    /// Run the accept loop until a `shutdown` request completes its
+    /// drain. Each connection is handled on its own thread.
+    pub fn serve(&self) {
+        self.listener.set_nonblocking(true).expect("set nonblocking");
+        loop {
+            if self.stop.load(Ordering::Relaxed) {
+                return;
+            }
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    let manager = self.manager();
+                    let stop = Arc::clone(&self.stop);
+                    std::thread::spawn(move || handle_connection(stream, &manager, &stop));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(_) => return,
+            }
+        }
+    }
+
+    /// Bind, start the workers and run the accept loop on background
+    /// threads. The returned handle joins everything after a client
+    /// `shutdown`.
+    pub fn spawn(cfg: &ServeConfig) -> Result<ServerHandle, String> {
+        Self::spawn_inner(cfg, true)
+    }
+
+    /// Like [`Server::spawn`] but with the worker pool NOT started, so
+    /// admitted sessions stay queued forever: admission-control tests
+    /// get a deterministic `busy` rejection regardless of host speed.
+    /// Queued sessions must be cancelled before `shutdown` can drain.
+    pub fn spawn_paused(cfg: &ServeConfig) -> Result<ServerHandle, String> {
+        Self::spawn_inner(cfg, false)
+    }
+
+    fn spawn_inner(cfg: &ServeConfig, start_workers: bool) -> Result<ServerHandle, String> {
+        let server = Server::bind(cfg)?;
+        let addr = server.local_addr();
+        let manager = server.manager();
+        let workers = if start_workers { server.start_workers() } else { Vec::new() };
+        let accept = std::thread::spawn(move || server.serve());
+        Ok(ServerHandle { addr, manager, accept, workers })
+    }
+}
+
+/// Handle onto a daemon spawned with [`Server::spawn`].
+pub struct ServerHandle {
+    /// The bound address.
+    pub addr: SocketAddr,
+    manager: Arc<SessionManager>,
+    accept: JoinHandle<()>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The shared session manager (for tests poking at sessions
+    /// directly).
+    pub fn manager(&self) -> &Arc<SessionManager> {
+        &self.manager
+    }
+
+    /// Join the accept loop and the worker pool. Only returns after a
+    /// client `shutdown` stopped the daemon.
+    pub fn join(self) {
+        let _ = self.accept.join();
+        for w in self.workers {
+            let _ = w.join();
+        }
+    }
+}
+
+fn send_line(stream: &mut TcpStream, line: &str) -> std::io::Result<()> {
+    stream.write_all(line.as_bytes())?;
+    stream.write_all(b"\n")
+}
+
+/// Replay a session's records from the start and follow until terminal,
+/// then send the `session_done` frame. Returns early (leaving the
+/// session running) if the client went away.
+fn stream_session(stream: &mut TcpStream, session: &Arc<Session>) {
+    let mut cursor = 0usize;
+    loop {
+        match session.follow(cursor) {
+            Progress::Records(lines) => {
+                for line in &lines {
+                    if send_line(stream, line).is_err() {
+                        return;
+                    }
+                }
+                cursor += lines.len();
+            }
+            Progress::Terminal { state, done, error } => {
+                let frame = proto::session_done_frame(
+                    session.id,
+                    state.name(),
+                    done.as_ref(),
+                    error.as_deref(),
+                );
+                let _ = send_line(stream, &frame);
+                return;
+            }
+        }
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, manager: &Arc<SessionManager>, stop: &AtomicBool) {
+    if send_line(&mut stream, &proto::hello_frame()).is_err() {
+        return;
+    }
+    let Ok(reader_stream) = stream.try_clone() else { return };
+    let mut line = String::new();
+    if BufReader::new(reader_stream).read_line(&mut line).unwrap_or(0) == 0 {
+        return;
+    }
+    match proto::parse_request(line.trim()) {
+        Err(msg) => {
+            let _ = send_line(&mut stream, &proto::error_frame(&msg));
+        }
+        Ok(proto::Request::Tune(request)) => match manager.submit(request) {
+            Ok(session) => {
+                if send_line(&mut stream, &proto::accepted_frame(session.id)).is_ok() {
+                    stream_session(&mut stream, &session);
+                }
+            }
+            Err(Rejection::Busy { running, queued, limit }) => {
+                let _ = send_line(&mut stream, &proto::busy_frame(running, queued, limit));
+            }
+            Err(Rejection::ShuttingDown) => {
+                let _ = send_line(&mut stream, &proto::error_frame("daemon is shutting down"));
+            }
+        },
+        Ok(proto::Request::Status { session }) => {
+            let frame = match manager.get(session) {
+                Some(s) => proto::session_frame(session, s.state().name(), s.record_count()),
+                None => proto::error_frame(&format!("unknown session {session}")),
+            };
+            let _ = send_line(&mut stream, &frame);
+        }
+        Ok(proto::Request::Watch { session }) => match manager.get(session) {
+            Some(s) => stream_session(&mut stream, &s),
+            None => {
+                let _ = send_line(
+                    &mut stream,
+                    &proto::error_frame(&format!("unknown session {session}")),
+                );
+            }
+        },
+        Ok(proto::Request::Cancel { session }) => {
+            let frame = match manager.cancel(session) {
+                Some(state) => {
+                    let records = manager.get(session).map(|s| s.record_count()).unwrap_or(0);
+                    proto::session_frame(session, state.name(), records)
+                }
+                None => proto::error_frame(&format!("unknown session {session}")),
+            };
+            let _ = send_line(&mut stream, &frame);
+        }
+        Ok(proto::Request::Shutdown) => {
+            let completed = manager.begin_shutdown();
+            let _ = send_line(&mut stream, &proto::bye_frame(completed));
+            stop.store(true, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client;
+    use crate::session::{FaultSpec, TuneRequest};
+
+    fn quick_req(seed: u64) -> TuneRequest {
+        TuneRequest::build(None, None, None, Some(seed), Some(6.0), true, Some(FaultSpec::Off))
+            .unwrap()
+    }
+
+    fn ephemeral(workers: usize, queue_depth: usize) -> ServeConfig {
+        ServeConfig { addr: "127.0.0.1:0".to_string(), workers, queue_depth, archive: None }
+    }
+
+    #[test]
+    fn serves_a_tune_request_end_to_end_and_drains_on_shutdown() {
+        let handle = Server::spawn(&ephemeral(1, 2)).unwrap();
+        let addr = handle.addr.to_string();
+        let frames = client::roundtrip(&addr, &proto::tune_request_line(&quick_req(1))).unwrap();
+        assert!(frames.first().unwrap().contains("\"type\":\"accepted\""));
+        let done = frames.last().unwrap();
+        assert!(done.contains("\"type\":\"session_done\""), "{done}");
+        assert!(done.contains("\"state\":\"done\""), "{done}");
+        let journal: Vec<String> =
+            frames.iter().filter(|l| !proto::is_protocol_frame(l)).cloned().collect();
+        cst_telemetry::schema::validate_journal(&journal).expect("streamed journal is valid");
+        // Status of the finished session, then a graceful shutdown.
+        let status = client::roundtrip(&addr, &proto::session_request_line("status", 0)).unwrap();
+        assert!(status[0].contains("\"state\":\"done\""), "{}", status[0]);
+        let bye = client::roundtrip(&addr, &proto::shutdown_request_line()).unwrap();
+        assert!(bye[0].contains("\"type\":\"bye\""), "{}", bye[0]);
+        assert!(bye[0].contains("\"sessions_completed\":1"), "{}", bye[0]);
+        handle.join();
+    }
+
+    #[test]
+    fn malformed_and_unknown_requests_get_error_frames() {
+        let handle = Server::spawn(&ephemeral(1, 1)).unwrap();
+        let addr = handle.addr.to_string();
+        let bad = client::roundtrip(&addr, "this is not json").unwrap();
+        assert!(bad[0].contains("\"type\":\"error\""), "{}", bad[0]);
+        let unknown = client::roundtrip(&addr, &proto::session_request_line("watch", 7)).unwrap();
+        assert!(unknown[0].contains("unknown session 7"), "{}", unknown[0]);
+        let bye = client::roundtrip(&addr, &proto::shutdown_request_line()).unwrap();
+        assert!(bye[0].contains("\"type\":\"bye\""));
+        handle.join();
+    }
+}

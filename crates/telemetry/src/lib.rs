@@ -276,6 +276,10 @@ macro_rules! event {
 enum SinkKind {
     Memory(Vec<String>),
     File(std::io::BufWriter<std::fs::File>),
+    /// Tee: every record line is handed to a callback as it is emitted
+    /// (and not stored). The serving layer uses this to stream a live
+    /// session's journal to a client while the run is still in flight.
+    Tee(Box<dyn FnMut(&str) + Send>),
 }
 
 struct Inner {
@@ -293,6 +297,7 @@ impl Inner {
             SinkKind::File(w) => {
                 let _ = writeln!(w, "{line}");
             }
+            SinkKind::Tee(cb) => cb(&line),
         }
     }
 }
@@ -346,6 +351,26 @@ impl Telemetry {
     pub fn to_file(path: &Path) -> std::io::Result<Self> {
         let file = std::fs::File::create(path)?;
         Ok(Self::start(SinkKind::File(std::io::BufWriter::new(file))))
+    }
+
+    /// An enabled handle that tees every record line into `sink` the
+    /// moment it is emitted (under the telemetry lock, so the callback
+    /// observes lines in exact `seq` order). Nothing is stored in the
+    /// handle itself — the callback owns the stream. This is the
+    /// serving-layer hook: a daemon session streams its journal to a
+    /// client while the run is still in flight.
+    pub fn to_sink(sink: impl FnMut(&str) + Send + 'static) -> Self {
+        Self::start(SinkKind::Tee(Box::new(sink)))
+    }
+
+    /// An enabled handle whose record lines arrive on the returned
+    /// channel, in `seq` order. A convenience wrapper over
+    /// [`Telemetry::to_sink`] for consumers that want to drain the
+    /// stream from another thread; once the receiver is dropped,
+    /// subsequent records are discarded silently.
+    pub fn to_channel() -> (Self, std::sync::mpsc::Receiver<String>) {
+        let (tx, rx) = std::sync::mpsc::channel::<String>();
+        (Self::to_sink(move |line: &str| drop(tx.send(line.to_string()))), rx)
     }
 
     /// Emit one event. `ty` becomes the record's `"type"`; a sequence
@@ -459,8 +484,11 @@ impl Telemetry {
             inner.seq + 1 // journal_end itself is the last event
         };
         event!(self, "journal_end", events = events, v_s = v_now_s);
-        if let SinkKind::File(w) = &mut inner_arc.lock().expect("telemetry lock").sink {
-            let _ = w.flush();
+        match &mut inner_arc.lock().expect("telemetry lock").sink {
+            SinkKind::File(w) => {
+                let _ = w.flush();
+            }
+            SinkKind::Memory(_) | SinkKind::Tee(_) => {}
         }
     }
 
@@ -470,7 +498,7 @@ impl Telemetry {
         let inner = self.0.as_ref()?.lock().expect("telemetry lock");
         match &inner.sink {
             SinkKind::Memory(lines) => Some(lines.clone()),
-            SinkKind::File(_) => None,
+            SinkKind::File(_) | SinkKind::Tee(_) => None,
         }
     }
 }
@@ -668,6 +696,38 @@ mod tests {
         for line in content.lines() {
             json::parse(&strip_wall_fields(line)).expect("valid JSON line");
         }
+    }
+
+    #[test]
+    fn tee_sink_streams_lines_in_seq_order() {
+        let seen = Arc::new(Mutex::new(Vec::<String>::new()));
+        let sink = Arc::clone(&seen);
+        let tel = Telemetry::to_sink(move |line| sink.lock().unwrap().push(line.to_string()));
+        event!(tel, "run_meta", stencil = "j3d7pt");
+        tel.add(Counter::MemoHits, 1);
+        tel.finish(2.0);
+        assert!(tel.lines().is_none(), "tee handles store nothing themselves");
+        let lines = seen.lock().unwrap().clone();
+        assert_eq!(lines.len(), 4); // start, meta, counters, end
+        for (i, line) in lines.iter().enumerate() {
+            assert!(line.contains(&format!("\"seq\":{i}")), "line {i}: {line}");
+            json::parse(&strip_wall_fields(line)).expect("valid JSON line");
+        }
+        assert!(lines.first().unwrap().contains("journal_start"));
+        assert!(lines.last().unwrap().contains("journal_end"));
+    }
+
+    #[test]
+    fn channel_sink_delivers_the_stream() {
+        let (tel, rx) = Telemetry::to_channel();
+        event!(tel, "run_meta", stencil = "cheby");
+        tel.finish(0.0);
+        let lines: Vec<String> = rx.try_iter().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[1].contains("\"stencil\":\"cheby\""));
+        // Dropping the receiver must not break later emits.
+        drop(rx);
+        event!(tel, "run_meta", stencil = "ignored");
     }
 
     #[test]

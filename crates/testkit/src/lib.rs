@@ -19,12 +19,15 @@
 //!   approximate values.
 //! - [`golden`]: golden-trace regression fixtures for `--quick`-scale
 //!   runs, blessed with `CST_BLESS=1` and diffed byte-for-byte otherwise.
+//! - [`loopback`]: a real cst-serve daemon on an ephemeral localhost
+//!   port, for end-to-end tuning-as-a-service tests.
 //!
 //! [`Setting`]: cst_space::Setting
 //! [`FaultProfile`]: cst_gpu_sim::FaultProfile
 
 pub mod gen;
 pub mod golden;
+pub mod loopback;
 pub mod oracle;
 pub mod runner;
 
@@ -35,6 +38,7 @@ pub use gen::{
 pub use golden::{
     check_golden, hex_bits, preproc_trace, quick_tune_journal, quick_tune_trace, TraceOptions,
 };
+pub use loopback::{split_stream, LoopbackServer};
 pub use oracle::{
     batch_vs_serial, fault_run_determinism, journal_transparency, memo_transparency,
     zero_fault_transparency,

@@ -2,9 +2,10 @@
 //!
 //! ```text
 //! cstuner list                                   # available stencils & GPUs
+//! cstuner version                                # crate + journal schema versions
 //! cstuner tune  --stencil cheby [--arch a100] [--budget 100] [--seed 0]
 //!               [--tuner cstuner|garvey|opentuner|artemis|random]
-//!               [--quick] [--journal run.jsonl]
+//!               [--quick] [--journal run.jsonl] [--fault-off]
 //! cstuner codegen --stencil cheby [--arch a100] [--budget 60] [--out k.cu]
 //! cstuner report run.jsonl [--json]              # render a run journal
 //! cstuner journal-check run.jsonl                # schema-validate a journal
@@ -12,6 +13,12 @@
 //! cstuner obs diff BASE CAND                     # compare two runs
 //! cstuner obs gate BASE CAND [--save FILE]       # drift gate (exit 1 on regress)
 //! cstuner obs dashboard [--store DIR]            # whole-archive table
+//! cstuner serve [--addr HOST:PORT] [--workers N] [--queue N] [--archive DIR]
+//! cstuner client tune   [--addr HOST:PORT] [tune flags]     # tune via a daemon
+//! cstuner client status --session N [--addr HOST:PORT]
+//! cstuner client watch  --session N [--addr HOST:PORT] [--journal FILE]
+//! cstuner client cancel --session N [--addr HOST:PORT]
+//! cstuner client shutdown [--addr HOST:PORT]     # drain and stop the daemon
 //! ```
 //!
 //! `tune` runs one iso-time tuning session and prints the outcome;
@@ -21,14 +28,21 @@
 //! observatory: `ingest` archives journals as versioned summaries under a
 //! store directory (`results/obs` by default), `diff`/`gate`/`dashboard`
 //! compare them (each run argument may be a `*.summary.json` or a raw
-//! journal). Invoking `cstuner --quick ...` with no subcommand is
-//! shorthand for `cstuner tune --quick ...`.
+//! journal). `serve` starts the tuning-as-a-service daemon and `client`
+//! talks to one: a served `client tune` streams the exact journal a
+//! local `tune --journal` would write. Invoking `cstuner --quick ...`
+//! with no subcommand is shorthand for `cstuner tune --quick ...`.
 
 use cstuner::obs::{self, DriftPolicy, JournalStore};
 use cstuner::prelude::*;
+use cstuner::serve::{proto, Connection, ServeConfig, Server};
+use cstuner::serve::{DoneInfo, FaultSpec, SessionOutcome, TuneRequest};
+use cstuner::sim::FaultStats;
 use cstuner::stencil::{suite, suite_ext};
-use cstuner::telemetry::{report, schema, Field, FieldValue};
+use cstuner::telemetry::json::{self, Value};
+use cstuner::telemetry::{report, schema};
 use std::collections::HashMap;
+use std::io::Write as _;
 use std::path::Path;
 
 /// Split an argument list into `--key [value]` flags and positionals.
@@ -58,47 +72,84 @@ fn parse_args(args: &[String]) -> (HashMap<String, String>, Vec<String>) {
     (flags, positionals)
 }
 
-fn parse_flags(args: &[String]) -> HashMap<String, String> {
-    parse_args(args).0
+/// Classic Levenshtein distance, for `did you mean` hints.
+fn edit_distance(a: &str, b: &str) -> usize {
+    let (a, b): (Vec<char>, Vec<char>) = (a.chars().collect(), b.chars().collect());
+    let mut row: Vec<usize> = (0..=b.len()).collect();
+    for (i, ca) in a.iter().enumerate() {
+        let mut prev = row[0];
+        row[0] = i + 1;
+        for (j, cb) in b.iter().enumerate() {
+            let cost = if ca == cb { prev } else { prev + 1 };
+            prev = row[j + 1];
+            row[j + 1] = cost.min(prev + 1).min(row[j] + 1);
+        }
+    }
+    row[b.len()]
 }
 
-fn all_stencils() -> Vec<StencilKernel> {
-    let mut v = suite::all_kernels();
-    v.extend(suite_ext::extension_kernels());
-    v
-}
-
-fn find_stencil(name: &str) -> StencilKernel {
-    all_stencils().into_iter().find(|k| k.spec.name == name).unwrap_or_else(|| {
-        eprintln!("unknown stencil `{name}`; run `cstuner list`");
+/// Reject flags outside `allowed` with exit 2 and, when a flag is a
+/// near-miss (edit distance <= 2), a `did you mean` hint.
+fn check_flags(context: &str, flags: &HashMap<String, String>, allowed: &[&str]) {
+    let mut keys: Vec<&String> = flags.keys().collect();
+    keys.sort();
+    for key in keys {
+        if allowed.contains(&key.as_str()) {
+            continue;
+        }
+        eprintln!("unknown flag `--{key}` for `cstuner {context}`");
+        let hint =
+            allowed.iter().map(|a| (edit_distance(key, a), *a)).filter(|(d, _)| *d <= 2).min();
+        match hint {
+            Some((_, near)) => eprintln!("did you mean `--{near}`?"),
+            None if allowed.is_empty() => eprintln!("`cstuner {context}` takes no flags"),
+            None => {
+                let list: Vec<String> = allowed.iter().map(|a| format!("--{a}")).collect();
+                eprintln!("supported: {}", list.join(", "));
+            }
+        }
         std::process::exit(2);
+    }
+}
+
+/// Flags shared by `tune`, `codegen` and `client tune`.
+const TUNE_FLAGS: [&str; 8] =
+    ["stencil", "arch", "budget", "seed", "tuner", "quick", "journal", "fault-off"];
+
+fn flag_u64(flags: &HashMap<String, String>, key: &str) -> Option<u64> {
+    flags.get(key).map(|raw| {
+        raw.parse().unwrap_or_else(|_| {
+            eprintln!("--{key} expects a non-negative integer, got `{raw}`");
+            std::process::exit(2);
+        })
     })
 }
 
-fn build_tuner(name: &str, quick: bool) -> Box<dyn Tuner> {
-    match name {
-        "cstuner" => {
-            let cfg = if quick {
-                CsTunerConfig {
-                    dataset_size: 48,
-                    max_iterations: 15,
-                    codegen_cap: 16,
-                    ..Default::default()
-                }
-            } else {
-                CsTunerConfig::default()
-            };
-            Box::new(CsTuner::new(cfg))
-        }
-        "garvey" => Box::new(GarveyTuner::default()),
-        "opentuner" => Box::new(OpenTunerGa::default()),
-        "artemis" => Box::new(ArtemisTuner::default()),
-        "random" => Box::new(RandomSearch::default()),
-        other => {
-            eprintln!("unknown tuner `{other}` (cstuner|garvey|opentuner|artemis|random)");
+fn flag_f64(flags: &HashMap<String, String>, key: &str) -> Option<f64> {
+    flags.get(key).map(|raw| {
+        raw.parse().unwrap_or_else(|_| {
+            eprintln!("--{key} expects a number, got `{raw}`");
             std::process::exit(2);
-        }
-    }
+        })
+    })
+}
+
+/// Validate tune-family flags into a [`TuneRequest`] (exit 2 on error).
+fn tune_request_from_flags(flags: &HashMap<String, String>) -> TuneRequest {
+    let fault = flags.contains_key("fault-off").then_some(FaultSpec::Off);
+    TuneRequest::build(
+        flags.get("stencil").map(String::as_str),
+        flags.get("arch").map(String::as_str),
+        flags.get("tuner").map(String::as_str),
+        flag_u64(flags, "seed"),
+        flag_f64(flags, "budget"),
+        flags.contains_key("quick"),
+        fault,
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    })
 }
 
 fn cmd_list() {
@@ -137,75 +188,47 @@ fn journal_telemetry(flags: &HashMap<String, String>) -> Telemetry {
     }
 }
 
-fn run_tune(flags: &HashMap<String, String>) -> (StencilKernel, cstuner::core::TuningOutcome) {
-    let quick = flags.contains_key("quick");
-    let stencil_name = match flags.get("stencil").map(String::as_str) {
-        Some(s) => s,
-        // `cstuner --quick --journal run.jsonl` should just work; pick the
-        // suite's canonical starter stencil.
-        None if quick => "j3d7pt",
-        None => {
-            eprintln!("--stencil is required; run `cstuner list`");
-            std::process::exit(2);
-        }
-    };
-    let kernel = find_stencil(stencil_name);
-    let arch_name = flags.get("arch").map(String::as_str).unwrap_or("a100");
-    let arch = GpuArch::by_name(arch_name).unwrap_or_else(|| {
-        eprintln!("unknown arch `{arch_name}` (a100|v100|small)");
-        std::process::exit(2);
-    });
-    let default_budget = if quick { 30.0 } else { 100.0 };
-    let budget: f64 = flags.get("budget").and_then(|s| s.parse().ok()).unwrap_or(default_budget);
-    let seed: u64 = flags.get("seed").and_then(|s| s.parse().ok()).unwrap_or(0);
-    let tuner_name = flags.get("tuner").map(String::as_str).unwrap_or("cstuner");
-    let mut tuner = build_tuner(tuner_name, quick);
-
-    let tel = journal_telemetry(flags);
-    tel.meta(&[
-        Field::new("stencil", FieldValue::from(kernel.spec.name)),
-        Field::new("arch", FieldValue::from(arch.name)),
-        Field::new("tuner", FieldValue::from(tuner_name)),
-        Field::new("seed", FieldValue::from(seed)),
-        Field::new("budget_s", FieldValue::from(budget)),
-    ]);
-    let mut eval = SimEvaluator::with_budget(kernel.spec.clone(), arch.clone(), seed, budget);
-    eval.set_telemetry(&tel);
-    let baseline = eval.sim().kernel_time_ms(&Setting::baseline());
-    eprintln!(
-        "Tuning {} on simulated {} with {} ({}s budget, seed {seed})...",
-        kernel.spec.name,
-        arch.name,
-        tuner.name(),
-        budget
-    );
-    let out = tuner.tune_with_telemetry(&mut eval, seed, &tel).unwrap_or_else(|e| {
-        eprintln!("tuning failed: {e}");
-        std::process::exit(1);
-    });
-    cstuner::core::journal_outcome(&tel, &out);
-    tel.finish(out.search_s);
-    println!("tuner:      {}", out.tuner);
+/// Human-readable outcome block, identical for local and served runs.
+fn print_outcome(d: &DoneInfo) {
+    println!("tuner:      {}", d.tuner);
     println!(
         "best:       {:.4} ms  ({:.2}x over untuned baseline {:.4} ms)",
-        out.best_time_ms,
-        baseline / out.best_time_ms,
-        baseline
+        d.best_ms,
+        d.baseline_ms / d.best_ms,
+        d.baseline_ms
     );
-    println!("setting:    {}", out.best_setting);
-    println!("evals:      {}", out.evaluations);
-    println!("search:     {:.1} s virtual", out.search_s);
+    println!("setting:    {}", d.setting);
+    println!("evals:      {}", d.evaluations);
+    println!("search:     {:.1} s virtual", d.search_s);
     // Only a hostile testbed (CST_FAULT_SEED) produces nonzero counters;
     // keeping the line conditional preserves byte-identical fault-free
     // output.
-    if out.faults.any() {
-        let f = &out.faults;
+    if d.faults.any() {
+        let f = &d.faults;
         println!(
             "faults:     {} compile, {} launch, {} timeout, {} outliers; {} retries, {} quarantined",
             f.compile_errors, f.launch_failures, f.timeouts, f.outliers, f.retries, f.quarantined
         );
     }
-    (kernel, out)
+}
+
+fn run_tune(flags: &HashMap<String, String>) -> (StencilKernel, SessionOutcome) {
+    let req = tune_request_from_flags(flags);
+    let kernel = cstuner::serve::find_stencil(&req.stencil).expect("request validated");
+    let arch = GpuArch::by_name(&req.arch).expect("request validated");
+    let tuner_display =
+        cstuner::serve::build_tuner(&req.tuner, req.quick).expect("request validated").name();
+    let tel = journal_telemetry(flags);
+    eprintln!(
+        "Tuning {} on simulated {} with {} ({}s budget, seed {})...",
+        kernel.spec.name, arch.name, tuner_display, req.budget_s, req.seed
+    );
+    let session = cstuner::serve::run_session(&req, &tel, None).unwrap_or_else(|e| {
+        eprintln!("tuning failed: {e}");
+        std::process::exit(1);
+    });
+    print_outcome(&DoneInfo::new(&session));
+    (kernel, session)
 }
 
 fn read_journal_lines(args: &[String]) -> Vec<String> {
@@ -248,6 +271,7 @@ fn cmd_obs(args: &[String]) {
     let store_dir = flags.get("store").cloned().unwrap_or_else(|| "results/obs".to_string());
     match sub {
         "ingest" => {
+            check_flags("obs ingest", &flags, &["store", "name"]);
             if positionals.is_empty() {
                 obs_usage();
             }
@@ -277,11 +301,13 @@ fn cmd_obs(args: &[String]) {
             }
         }
         "diff" => {
+            check_flags("obs diff", &flags, &[]);
             let [base, cand] = positionals.as_slice() else { obs_usage() };
             let diff = obs::diff_runs(&obs_load(base), &obs_load(cand));
             print!("{}", obs::render_diff(&diff));
         }
         "gate" => {
+            check_flags("obs gate", &flags, &["save"]);
             let [base, cand] = positionals.as_slice() else { obs_usage() };
             let diff = obs::diff_runs(&obs_load(base), &obs_load(cand));
             let policy = DriftPolicy::default();
@@ -299,6 +325,7 @@ fn cmd_obs(args: &[String]) {
             std::process::exit(gate.exit_code());
         }
         "dashboard" => {
+            check_flags("obs dashboard", &flags, &["store", "save"]);
             let store = JournalStore::open(Path::new(&store_dir)).unwrap_or_else(|e| {
                 eprintln!("{e}");
                 std::process::exit(2);
@@ -320,21 +347,293 @@ fn cmd_obs(args: &[String]) {
     }
 }
 
+/// `cstuner serve`: run the tuning-as-a-service daemon in the
+/// foreground until a client sends `shutdown`.
+fn cmd_serve(flags: &HashMap<String, String>) {
+    check_flags("serve", flags, &["addr", "workers", "queue", "archive"]);
+    let defaults = ServeConfig::default();
+    let cfg = ServeConfig {
+        addr: flags.get("addr").cloned().unwrap_or(defaults.addr),
+        workers: flag_u64(flags, "workers").map(|w| w as usize).unwrap_or(defaults.workers),
+        queue_depth: flag_u64(flags, "queue").map(|q| q as usize).unwrap_or(defaults.queue_depth),
+        archive: flags.get("archive").filter(|p| !p.is_empty()).map(std::path::PathBuf::from),
+    };
+    let server = Server::bind(&cfg).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(1);
+    });
+    // Stdout is line-buffered: this line reaches a redirected log
+    // immediately, so scripts can parse the (possibly ephemeral) port.
+    println!("listening on {}", server.local_addr());
+    eprintln!(
+        "cst-serve: {} workers, queue depth {}{}",
+        cfg.workers.max(1),
+        cfg.queue_depth,
+        cfg.archive.as_ref().map(|d| format!(", archiving to {}", d.display())).unwrap_or_default()
+    );
+    let workers = server.start_workers();
+    server.serve();
+    for w in workers {
+        let _ = w.join();
+    }
+    eprintln!("cst-serve: drained and stopped");
+}
+
+fn client_addr(flags: &HashMap<String, String>) -> String {
+    flags
+        .get("addr")
+        .filter(|a| !a.is_empty())
+        .cloned()
+        .unwrap_or_else(|| ServeConfig::default().addr)
+}
+
+fn client_connect(flags: &HashMap<String, String>) -> Connection {
+    Connection::connect(&client_addr(flags)).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(1);
+    })
+}
+
+fn client_session_id(flags: &HashMap<String, String>) -> u64 {
+    flag_u64(flags, "session").unwrap_or_else(|| {
+        eprintln!("--session is required");
+        std::process::exit(2);
+    })
+}
+
+fn json_u64(v: &Value, key: &str) -> u64 {
+    v.get(key).and_then(Value::as_u64).unwrap_or(0)
+}
+
+fn json_f64(v: &Value, key: &str) -> f64 {
+    v.get(key).and_then(Value::as_f64).unwrap_or(f64::NAN)
+}
+
+fn json_str(v: &Value, key: &str) -> String {
+    v.get(key).and_then(Value::as_str).unwrap_or("").to_string()
+}
+
+/// Rebuild the outcome summary a `session_done` frame carries.
+fn done_info_from_frame(v: &Value) -> DoneInfo {
+    DoneInfo {
+        tuner: json_str(v, "tuner"),
+        best_ms: json_f64(v, "best_ms"),
+        baseline_ms: json_f64(v, "baseline_ms"),
+        setting: json_str(v, "setting"),
+        evaluations: json_u64(v, "evaluations"),
+        search_s: json_f64(v, "search_s"),
+        faults: FaultStats {
+            compile_errors: json_u64(v, "fault_compile"),
+            launch_failures: json_u64(v, "fault_launch"),
+            timeouts: json_u64(v, "fault_timeout"),
+            outliers: json_u64(v, "fault_outliers"),
+            retries: json_u64(v, "fault_retries"),
+            quarantined: json_u64(v, "fault_quarantined"),
+        },
+    }
+}
+
+/// Consume a session stream (from `client tune` or `client watch`):
+/// control frames drive the terminal UX, journal records optionally tee
+/// into `--journal FILE`. Exits nonzero unless the session finished.
+fn client_stream(conn: &mut Connection, flags: &HashMap<String, String>) {
+    let mut journal: Option<std::fs::File> =
+        flags.get("journal").filter(|p| !p.is_empty()).map(|p| {
+            std::fs::File::create(p).unwrap_or_else(|e| {
+                eprintln!("cannot open journal `{p}`: {e}");
+                std::process::exit(2);
+            })
+        });
+    loop {
+        let frame = match conn.next_frame() {
+            Ok(Some(f)) => f,
+            Ok(None) => {
+                eprintln!("daemon closed the stream before the session finished");
+                std::process::exit(1);
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(1);
+            }
+        };
+        match proto::frame_type(&frame).as_deref() {
+            Some("accepted") => {
+                let v = json::parse(&frame).expect("daemon frames are valid JSON");
+                eprintln!("session {} accepted (queued)", json_u64(&v, "session"));
+            }
+            Some("busy") => {
+                let v = json::parse(&frame).expect("daemon frames are valid JSON");
+                eprintln!(
+                    "daemon busy: {} running, {} queued (limit {})",
+                    json_u64(&v, "running"),
+                    json_u64(&v, "queued"),
+                    json_u64(&v, "limit")
+                );
+                std::process::exit(1);
+            }
+            Some("error") => {
+                let v = json::parse(&frame).expect("daemon frames are valid JSON");
+                eprintln!("{}", json_str(&v, "message"));
+                std::process::exit(1);
+            }
+            Some("session_done") => {
+                let v = json::parse(&frame).expect("daemon frames are valid JSON");
+                let state = json_str(&v, "state");
+                if state == "done" {
+                    print_outcome(&done_info_from_frame(&v));
+                    return;
+                }
+                let error = json_str(&v, "error");
+                if error.is_empty() {
+                    eprintln!("session {}: {state}", json_u64(&v, "session"));
+                } else {
+                    eprintln!("tuning failed: {error}");
+                }
+                std::process::exit(1);
+            }
+            _ => {
+                // A raw journal record, verbatim from the daemon.
+                if let Some(f) = journal.as_mut() {
+                    writeln!(f, "{frame}").unwrap_or_else(|e| {
+                        eprintln!("cannot write journal: {e}");
+                        std::process::exit(2);
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// `cstuner client`: talk to a running daemon.
+fn cmd_client(args: &[String]) {
+    let sub = args.first().map(String::as_str).unwrap_or("");
+    let (flags, _) = parse_args(&args[1.min(args.len())..]);
+    match sub {
+        "tune" => {
+            let mut allowed: Vec<&str> = TUNE_FLAGS.to_vec();
+            allowed.push("addr");
+            check_flags("client tune", &flags, &allowed);
+            let req = tune_request_from_flags(&flags);
+            let mut conn = client_connect(&flags);
+            conn.send_line(&proto::tune_request_line(&req)).unwrap_or_else(|e| {
+                eprintln!("{e}");
+                std::process::exit(1);
+            });
+            client_stream(&mut conn, &flags);
+        }
+        "watch" => {
+            check_flags("client watch", &flags, &["addr", "session", "journal"]);
+            let session = client_session_id(&flags);
+            let mut conn = client_connect(&flags);
+            conn.send_line(&proto::session_request_line("watch", session)).unwrap_or_else(|e| {
+                eprintln!("{e}");
+                std::process::exit(1);
+            });
+            client_stream(&mut conn, &flags);
+        }
+        "status" | "cancel" => {
+            check_flags(&format!("client {sub}"), &flags, &["addr", "session"]);
+            let session = client_session_id(&flags);
+            let frames = cstuner::serve::roundtrip(
+                &client_addr(&flags),
+                &proto::session_request_line(sub, session),
+            )
+            .unwrap_or_else(|e| {
+                eprintln!("{e}");
+                std::process::exit(1);
+            });
+            let Some(frame) = frames.first() else {
+                eprintln!("daemon sent no reply");
+                std::process::exit(1);
+            };
+            let v = json::parse(frame).expect("daemon frames are valid JSON");
+            match proto::frame_type(frame).as_deref() {
+                Some("session") => println!(
+                    "session {}: {} ({} records)",
+                    json_u64(&v, "session"),
+                    json_str(&v, "state"),
+                    json_u64(&v, "records")
+                ),
+                _ => {
+                    eprintln!("{}", json_str(&v, "message"));
+                    std::process::exit(1);
+                }
+            }
+        }
+        "shutdown" => {
+            check_flags("client shutdown", &flags, &["addr"]);
+            let frames =
+                cstuner::serve::roundtrip(&client_addr(&flags), &proto::shutdown_request_line())
+                    .unwrap_or_else(|e| {
+                        eprintln!("{e}");
+                        std::process::exit(1);
+                    });
+            match frames.first() {
+                Some(frame) if proto::frame_type(frame).as_deref() == Some("bye") => {
+                    let v = json::parse(frame).expect("daemon frames are valid JSON");
+                    println!(
+                        "daemon stopped after {} sessions",
+                        json_u64(&v, "sessions_completed")
+                    );
+                }
+                Some(frame) => {
+                    eprintln!("unexpected reply: {frame}");
+                    std::process::exit(1);
+                }
+                None => {
+                    eprintln!("daemon sent no reply");
+                    std::process::exit(1);
+                }
+            }
+        }
+        _ => {
+            eprintln!(
+                "usage: cstuner client <command> [--addr HOST:PORT]\n  \
+                 client tune [tune flags]        submit a session and stream its journal\n  \
+                 client status --session N       one-shot session state\n  \
+                 client watch --session N        replay-and-follow a session's stream\n  \
+                 client cancel --session N       cancel a queued or running session\n  \
+                 client shutdown                 drain in-flight sessions, stop the daemon"
+            );
+            std::process::exit(2);
+        }
+    }
+}
+
+fn cmd_version() {
+    println!(
+        "cstuner {} (journal schema v{})",
+        env!("CARGO_PKG_VERSION"),
+        cstuner::telemetry::SCHEMA_VERSION
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cmd = args.first().map(String::as_str).unwrap_or("help");
+    if cmd == "version" || cmd == "--version" {
+        cmd_version();
+        return;
+    }
     // `cstuner --quick --journal run.jsonl` is shorthand for `tune`.
     let (cmd, rest) =
         if cmd.starts_with("--") { ("tune", &args[..]) } else { (cmd, &args[1.min(args.len())..]) };
-    let flags = parse_flags(rest);
+    let (flags, _) = parse_args(rest);
     match cmd {
-        "list" => cmd_list(),
+        "list" => {
+            check_flags("list", &flags, &[]);
+            cmd_list();
+        }
         "tune" => {
+            check_flags("tune", &flags, &TUNE_FLAGS);
             run_tune(&flags);
         }
         "codegen" => {
-            let (kernel, out) = run_tune(&flags);
-            let src = generate_cuda(&kernel, &out.best_setting);
+            let mut allowed: Vec<&str> = TUNE_FLAGS.to_vec();
+            allowed.push("out");
+            check_flags("codegen", &flags, &allowed);
+            let (kernel, session) = run_tune(&flags);
+            let src = generate_cuda(&kernel, &session.outcome.best_setting);
             match flags.get("out") {
                 Some(path) if !path.is_empty() => {
                     std::fs::write(path, &src.code).expect("write CUDA source");
@@ -344,6 +643,7 @@ fn main() {
             }
         }
         "report" => {
+            check_flags("report", &flags, &["json"]);
             let lines = read_journal_lines(rest);
             if flags.contains_key("json") {
                 // Machine-readable form: the same versioned RunSummary the
@@ -366,6 +666,7 @@ fn main() {
             }
         }
         "journal-check" => {
+            check_flags("journal-check", &flags, &[]);
             let lines = read_journal_lines(rest);
             match schema::validate_journal(&lines) {
                 Ok(summary) => {
@@ -383,8 +684,14 @@ fn main() {
             }
         }
         "obs" => cmd_obs(rest),
+        "serve" => cmd_serve(&flags),
+        "client" => cmd_client(rest),
         _ => {
-            eprintln!("usage: cstuner <list|tune|codegen|report|journal-check|obs> [--stencil S] [--arch a100|v100] [--budget SECONDS] [--seed N] [--tuner T] [--quick] [--journal FILE] [--out FILE]");
+            eprintln!(
+                "usage: cstuner <list|version|tune|codegen|report|journal-check|obs|serve|client> \
+                 [--stencil S] [--arch a100|v100] [--budget SECONDS] [--seed N] [--tuner T] \
+                 [--quick] [--journal FILE] [--out FILE] [--addr HOST:PORT]"
+            );
         }
     }
 }

@@ -44,6 +44,7 @@ pub use cst_ga as ga;
 pub use cst_gpu_sim as sim;
 pub use cst_ml as ml;
 pub use cst_obs as obs;
+pub use cst_serve as serve;
 pub use cst_space as space;
 pub use cst_stats as stats;
 pub use cst_stencil as stencil;

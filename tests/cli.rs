@@ -1,0 +1,65 @@
+//! CLI surface tests: version reporting and unknown-flag rejection.
+//!
+//! These run the real `cstuner` binary (no daemon needed — flag
+//! validation happens before any connection attempt).
+
+use std::process::Command;
+
+fn cstuner(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_cstuner")).args(args).output().expect("run cstuner")
+}
+
+#[test]
+fn version_prints_crate_and_journal_schema_versions() {
+    let expected = format!(
+        "cstuner {} (journal schema v{})\n",
+        env!("CARGO_PKG_VERSION"),
+        cstuner::telemetry::SCHEMA_VERSION
+    );
+    for spelling in ["version", "--version"] {
+        let out = cstuner(&[spelling]);
+        assert!(out.status.success(), "`cstuner {spelling}` failed");
+        assert_eq!(String::from_utf8_lossy(&out.stdout), expected);
+    }
+}
+
+#[test]
+fn unknown_flags_are_rejected_with_a_did_you_mean_hint() {
+    let out = cstuner(&["tune", "--sencil", "cheby"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown flag `--sencil` for `cstuner tune`"), "{err}");
+    assert!(err.contains("did you mean `--stencil`?"), "{err}");
+
+    let out = cstuner(&["obs", "dashboard", "--sotre", "/tmp/nowhere"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("did you mean `--store`?"), "{err}");
+}
+
+#[test]
+fn unknown_flags_without_a_near_miss_list_the_supported_set() {
+    let out = cstuner(&["tune", "--frobnicate", "9"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown flag `--frobnicate`"), "{err}");
+    assert!(err.contains("supported: --stencil"), "{err}");
+}
+
+#[test]
+fn client_flags_are_validated_before_connecting() {
+    // A typo'd client flag must fail fast with exit 2, not hang on a
+    // connection to a daemon that is not running.
+    let out = cstuner(&["client", "tune", "--adr", "127.0.0.1:1"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("did you mean `--addr`?"), "{err}");
+}
+
+#[test]
+fn malformed_numeric_flags_are_rejected() {
+    let out = cstuner(&["tune", "--quick", "--seed", "banana"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--seed expects a non-negative integer"), "{err}");
+}
