@@ -320,7 +320,17 @@ impl SessionManager {
     pub fn cancel(&self, id: u64) -> Option<SessionState> {
         let session = self.get(id)?;
         if session.cancel_queued() {
-            self.session_finished();
+            // Dequeue and account under one lock so the invariant
+            // `queue.len() <= active` (which `running = active -
+            // queue.len()` relies on) holds at every instant. The id
+            // may already be gone from the queue when a worker popped
+            // it just before the cancellation landed.
+            let mut g = self.shared.lock().expect("manager lock");
+            g.queue.retain(|&q| q != id);
+            g.active -= 1;
+            g.completed += 1;
+            drop(g);
+            self.idle_cv.notify_all();
             return Some(SessionState::Cancelled);
         }
         let state = session.state();
@@ -340,8 +350,12 @@ impl SessionManager {
                     if let Some(id) = g.queue.pop_front() {
                         let session =
                             g.sessions.get(&id).cloned().expect("queued session is registered");
-                        // Sessions cancelled while queued were finalized
-                        // by `cancel`; skip without accounting.
+                        // `cancel` finalizes, dequeues and accounts for
+                        // sessions cancelled while queued, so normally
+                        // they never reach us; this skip covers the
+                        // race where the cancellation lands between our
+                        // pop and `begin_running` (cancel then sees the
+                        // id already gone and only fixes the counts).
                         if session.begin_running() {
                             break Some(session);
                         }
@@ -433,6 +447,36 @@ mod tests {
         let s3 = mgr.submit(quick_req(3)).expect("slot freed by cancellation");
         assert_eq!(s3.id, 2, "ids keep counting in admission order");
         assert_eq!(mgr.cancel(99), None, "unknown ids are None, not a panic");
+    }
+
+    #[test]
+    fn cancelling_queued_sessions_keeps_admission_counts_sane() {
+        // Regression: cancelling a queued session used to free its
+        // admission slot without removing its id from the queue, so
+        // `queue.len()` could exceed `active` and the derived running
+        // count `active - queue.len()` underflowed (a debug panic while
+        // holding the manager lock, wedging the daemon). No workers:
+        // sessions stay queued deterministically.
+        let mgr = SessionManager::new(SessionLimits { workers: 1, queue_depth: 1 }, None);
+        let s0 = mgr.submit(quick_req(0)).unwrap();
+        let s1 = mgr.submit(quick_req(1)).unwrap();
+        assert_eq!(mgr.cancel(s0.id), Some(SessionState::Cancelled));
+        assert_eq!(mgr.cancel(s1.id), Some(SessionState::Cancelled));
+        assert_eq!(mgr.counts(), (0, 0, 2), "cancelled sessions leave no residue");
+        // Refill to the admission limit, then one more: the busy frame
+        // must report sane counts, not a wrapped running count.
+        let _s2 = mgr.submit(quick_req(2)).expect("slot freed by first cancel");
+        let _s3 = mgr.submit(quick_req(3)).expect("slot freed by second cancel");
+        let rejection = mgr.submit(quick_req(4)).map(|s| s.id).unwrap_err();
+        assert_eq!(rejection, Rejection::Busy { running: 0, queued: 2, limit: 2 });
+        // A late-started worker drains only the live sessions; the
+        // cancelled ids are gone from the queue.
+        let worker = {
+            let mgr = Arc::clone(&mgr);
+            std::thread::spawn(move || mgr.worker_loop())
+        };
+        assert_eq!(mgr.begin_shutdown(), 4, "2 cancelled + 2 run to completion");
+        worker.join().unwrap();
     }
 
     #[test]

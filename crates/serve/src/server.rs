@@ -105,7 +105,16 @@ impl Server {
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                     std::thread::sleep(Duration::from_millis(10));
                 }
-                Err(_) => return,
+                Err(e) => {
+                    // Transient accept failures (EINTR, ECONNABORTED,
+                    // EMFILE under fd pressure) must not end the loop:
+                    // the daemon would silently stop accepting while
+                    // its workers park forever on the queue, and
+                    // `serve` would hang joining them. Log, back off
+                    // and retry; only the stop flag exits.
+                    eprintln!("cst-serve: accept error (retrying): {e}");
+                    std::thread::sleep(Duration::from_millis(50));
+                }
             }
         }
     }
@@ -195,8 +204,18 @@ fn stream_session(stream: &mut TcpStream, session: &Arc<Session>) {
     }
 }
 
+/// How long a connected client may take to send its request line
+/// before the handler gives up (a silent client would otherwise pin
+/// this thread, and its sockets, for the daemon's lifetime).
+const REQUEST_READ_TIMEOUT: Duration = Duration::from_secs(30);
+
 fn handle_connection(mut stream: TcpStream, manager: &Arc<SessionManager>, stop: &AtomicBool) {
     if send_line(&mut stream, &proto::hello_frame()).is_err() {
+        return;
+    }
+    // The timeout only guards the request read; streaming replies below
+    // never reads, so slow watchers are unaffected.
+    if stream.set_read_timeout(Some(REQUEST_READ_TIMEOUT)).is_err() {
         return;
     }
     let Ok(reader_stream) = stream.try_clone() else { return };
@@ -288,6 +307,24 @@ mod tests {
         let bye = client::roundtrip(&addr, &proto::shutdown_request_line()).unwrap();
         assert!(bye[0].contains("\"type\":\"bye\""), "{}", bye[0]);
         assert!(bye[0].contains("\"sessions_completed\":1"), "{}", bye[0]);
+        handle.join();
+    }
+
+    #[test]
+    fn silent_and_vanishing_connections_do_not_stop_the_daemon() {
+        let handle = Server::spawn(&ephemeral(1, 1)).unwrap();
+        let addr = handle.addr.to_string();
+        // A client that connects and vanishes without a request line.
+        drop(TcpStream::connect(&addr).unwrap());
+        // A client that connects and lingers silently across the next
+        // real request (its handler parks on the request read, bounded
+        // by REQUEST_READ_TIMEOUT, on a detached thread).
+        let idle = TcpStream::connect(&addr).unwrap();
+        let frames = client::roundtrip(&addr, &proto::tune_request_line(&quick_req(1))).unwrap();
+        assert!(frames.last().unwrap().contains("\"state\":\"done\""), "{frames:?}");
+        drop(idle);
+        let bye = client::roundtrip(&addr, &proto::shutdown_request_line()).unwrap();
+        assert!(bye[0].contains("\"type\":\"bye\""), "{}", bye[0]);
         handle.join();
     }
 
