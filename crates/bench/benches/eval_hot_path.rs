@@ -62,6 +62,39 @@ fn bench_footprint_cost(c: &mut Criterion) {
     g.finish();
 }
 
+/// The structure-of-arrays sweep (`GpuSim::evaluate_population`) against
+/// a per-setting `evaluate_full` loop, both on a cold memo: the columnar
+/// path decodes, footprints and costs the population in stage-major
+/// passes and takes each memo shard lock once per batch instead of once
+/// per setting.
+fn bench_population_soa(c: &mut Criterion) {
+    let mut g = c.benchmark_group("population-soa");
+    g.sample_size(20);
+    let spec = suite::spec_by_name("rhs4center").unwrap();
+    let pop: Vec<Setting> = {
+        let mut d = SimEvaluator::new(spec.clone(), GpuArch::a100(), 9);
+        (0..256).map(|_| d.random_valid()).collect()
+    };
+    g.bench_function("soa/256", |b| {
+        b.iter_batched(
+            || GpuSim::new(spec.clone(), GpuArch::a100()),
+            |sim| black_box(sim.evaluate_population(&pop)),
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("per-setting/256", |b| {
+        b.iter_batched(
+            || GpuSim::new(spec.clone(), GpuArch::a100()),
+            |sim| {
+                let out: Vec<_> = pop.iter().map(|s| sim.evaluate_full(s)).collect();
+                black_box(out)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
 fn bench_batch_vs_serial(c: &mut Criterion) {
     let mut g = c.benchmark_group("population-eval");
     g.sample_size(10);
@@ -87,5 +120,5 @@ fn bench_batch_vs_serial(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_footprint_cost, bench_batch_vs_serial);
+criterion_group!(benches, bench_footprint_cost, bench_population_soa, bench_batch_vs_serial);
 criterion_main!(benches);

@@ -16,7 +16,6 @@ use cst_telemetry::{event, Counter, Hist, Telemetry};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rayon::prelude::*;
-use std::collections::{HashMap, HashSet};
 
 /// `CST_SERIAL=1` disables parallel prefetching process-wide, for A/B
 /// benchmarking and for proving bit-identical results either way. The
@@ -148,11 +147,11 @@ pub struct SimEvaluator {
     valid: ValidSpace,
     clock: VirtualClock,
     rng: StdRng,
-    memo: HashMap<Setting, f64>,
+    memo: cst_space::SettingMap<f64>,
     unique: u64,
     faults: FaultProfile,
     fault_stats: FaultStats,
-    quarantine: HashSet<Setting>,
+    quarantine: cst_space::SettingSet,
     tel: Telemetry,
     cancel: Option<CancelToken>,
 }
@@ -167,11 +166,11 @@ impl SimEvaluator {
             valid: ValidSpace::new(space, sim),
             clock: VirtualClock::unbounded(),
             rng: StdRng::seed_from_u64(seed ^ 0x5eed_e7a1),
-            memo: HashMap::new(),
+            memo: cst_space::SettingMap::default(),
             unique: 0,
             faults: FaultProfile::from_env().unwrap_or_else(FaultProfile::off),
             fault_stats: FaultStats::default(),
-            quarantine: HashSet::new(),
+            quarantine: cst_space::SettingSet::default(),
             tel: Telemetry::noop(),
             cancel: None,
         }
@@ -313,6 +312,42 @@ impl SimEvaluator {
             }
         }
     }
+
+    /// Serial commit tail for one fresh setting: draw measurement noise
+    /// (or run the fault path), charge the clock, memoize, count. This is
+    /// the only place observable state changes, so `evaluate` and the
+    /// batched path share it and stay bit-identical by construction.
+    fn commit_record(&mut self, s: &Setting, record: &EvalRecord) -> f64 {
+        let measured = if self.faults.is_active() {
+            self.evaluate_faulty(s, record)
+        } else {
+            let m = cst_gpu_sim::noisy_measurement(record.time_ms(), &mut self.rng);
+            self.clock.advance(record.cost_s);
+            m
+        };
+        self.unique += 1;
+        self.memo.insert(*s, measured);
+        self.tel.add(Counter::EvalsCommitted, 1);
+        self.tel.observe(Hist::EvalTimeMs, measured);
+        measured
+    }
+
+    /// Settings from `batch` that still need a model record: not yet in
+    /// the measurement memo, deduplicated, first occurrence first.
+    fn pending_distinct(&self, batch: &[Setting]) -> Vec<Setting> {
+        let mut seen = cst_space::setting_set_with_capacity(batch.len());
+        batch.iter().filter(|s| !self.memo.contains_key(*s) && seen.insert(**s)).copied().collect()
+    }
+
+    /// Opt this session's simulator into the process-wide shared memo so
+    /// concurrent sessions on the same (stencil, arch) hit each other's
+    /// cache — see [`cst_gpu_sim::GpuSim::enable_shared_memo`] for the
+    /// gating rules (`CST_NO_MEMO`/`without_memo` and non-default model
+    /// params keep their semantics). The serving layer calls this per
+    /// session; results are unaffected, only evaluation speed.
+    pub fn enable_shared_memo(&mut self) {
+        self.valid.enable_shared_memo();
+    }
 }
 
 impl Evaluator for SimEvaluator {
@@ -338,35 +373,33 @@ impl Evaluator for SimEvaluator {
         // One model evaluation yields both the measured time and the clock
         // charge (the old path recomputed the footprint for each).
         let record = self.valid.sim().evaluate_full(s);
-        let measured = if self.faults.is_active() {
-            self.evaluate_faulty(s, &record)
-        } else {
-            let m = cst_gpu_sim::noisy_measurement(record.time_ms(), &mut self.rng);
-            self.clock.advance(record.cost_s);
-            m
-        };
-        self.unique += 1;
-        self.memo.insert(*s, measured);
-        self.tel.add(Counter::EvalsCommitted, 1);
-        self.tel.observe(Hist::EvalTimeMs, measured);
-        measured
+        self.commit_record(s, &record)
     }
 
     fn prefetch(&mut self, batch: &[Setting]) {
-        if serial_mode() {
-            return;
-        }
         let sim = self.valid.sim();
-        let todo: Vec<&Setting> = batch.iter().filter(|s| !self.memo.contains_key(s)).collect();
+        if !sim.has_memo() {
+            return; // nothing to warm — records would be recomputed anyway
+        }
+        let todo = self.pending_distinct(batch);
         if todo.len() < 2 {
             return;
         }
-        // Warm the shared sim-level memo in parallel. Only deterministic
-        // model output is computed here; noise draws, the clock and the
-        // evaluator memo are untouched, so observable state is exactly as
-        // if this was never called.
-        todo.par_iter().for_each(|s| {
-            let _ = sim.evaluate_full(s);
+        // Warm the sim-level memo through the structure-of-arrays batch
+        // path. Only deterministic model output is computed here; noise
+        // draws, the clock and the evaluator memo are untouched, so
+        // observable state is exactly as if this was never called. With a
+        // single worker lane one column sweep beats a parallel fan-out's
+        // dispatch overhead; otherwise each lane sweeps a column chunk.
+        if serial_mode() {
+            let _ = sim.evaluate_population(&todo);
+            return;
+        }
+        let lanes = rayon::current_num_threads().max(1);
+        let chunk = todo.len().div_ceil(lanes).max(8);
+        let chunks: Vec<&[Setting]> = todo.chunks(chunk).collect();
+        chunks.into_par_iter().for_each(|settings| {
+            let _ = sim.evaluate_population(settings);
         });
     }
 
@@ -374,10 +407,44 @@ impl Evaluator for SimEvaluator {
         if batch.is_empty() {
             return Vec::new();
         }
-        self.prefetch(batch);
-        // Serial commit in canonical input order: rng draws and clock
-        // charges happen exactly as in the plain evaluate loop.
-        batch.iter().map(|s| self.evaluate(s)).collect()
+        // With worker lanes, prefetch fans the pending column out so the
+        // collection pass below is all sim-memo hits. On a single lane
+        // that would just walk the batch twice: skip straight to the one
+        // population pass, which computes and returns the records itself.
+        if !serial_mode() {
+            self.prefetch(batch);
+        }
+        // One population pass resolves every pending record, then the
+        // serial commit walks the batch in canonical input order:
+        // counters, rng draws and clock charges happen exactly as in the
+        // plain evaluate loop. `todo` holds the first occurrence of each
+        // pending setting in batch order, so the commit loop consumes the
+        // record column with a cursor — every miss position that is not a
+        // duplicate-of-earlier lines up with the next column entry.
+        let todo = self.pending_distinct(batch);
+        let recs =
+            if todo.is_empty() { Vec::new() } else { self.valid.sim().evaluate_population(&todo) };
+        let mut next = 0usize;
+        batch
+            .iter()
+            .map(|s| {
+                self.tel.add(Counter::EvalsAttempted, 1);
+                if let Some(&t) = self.memo.get(s) {
+                    self.tel.add(Counter::MemoHits, 1);
+                    return t;
+                }
+                self.tel.add(Counter::MemoMisses, 1);
+                let record = if next < todo.len() && todo[next] == *s {
+                    next += 1;
+                    recs[next - 1].clone()
+                } else {
+                    // Unreachable while pending_distinct preserves batch
+                    // order, but a recompute is always safe and identical.
+                    self.valid.sim().evaluate_full(s)
+                };
+                self.commit_record(s, &record)
+            })
+            .collect()
     }
 
     fn profile_offline(&mut self, s: &Setting) -> MetricsReport {

@@ -196,6 +196,12 @@ impl GaState {
     /// same order the serial driver would have used). Breeding, best
     /// tracking and migration are unchanged, so a serial `eval_batch`
     /// closure reproduces [`GaState::step`] bit-for-bit.
+    ///
+    /// The tuner's driver wires `eval_batch` to the evaluator's batch path
+    /// (`Evaluator::evaluate_batch` in `cstuner-core`), which hands the
+    /// whole generation to the simulator's structure-of-arrays
+    /// `evaluate_population` sweep before committing results serially — so
+    /// batching here is what unlocks the columnar hot path.
     pub fn step_batched(&mut self, eval_batch: &mut impl FnMut(&[Vec<u32>]) -> Vec<f64>) {
         self.eval_pending(eval_batch);
         self.breed();

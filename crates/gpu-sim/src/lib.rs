@@ -14,6 +14,11 @@
 //!   for unmodeled microarchitectural ruggedness.
 //! - [`metrics`]: Nsight-style metric vectors for the paper's
 //!   metric-combination stage (§IV-D).
+//! - [`precomp`]: setting-independent model tables hoisted out of the
+//!   evaluation hot path, with a structure-of-arrays batch sweep —
+//!   bit-identical to the direct [`footprint`]/[`cost`] composition.
+//! - [`registry`]: opt-in process-wide memo sharing keyed by
+//!   (stencil, arch), so concurrent serve sessions hit each other's cache.
 //! - [`valid`]: the composed explicit+implicit validity check ("only
 //!   non-spilled parameter settings are explored", §IV-B).
 //! - [`clock`]: the virtual wall clock that charges per-evaluation compile
@@ -33,6 +38,8 @@ pub mod fault;
 pub mod footprint;
 pub mod memo;
 pub mod metrics;
+pub mod precomp;
+pub mod registry;
 pub mod sim;
 pub mod valid;
 
@@ -43,5 +50,6 @@ pub use fault::{FaultKind, FaultProfile, FaultStats};
 pub use footprint::{Footprint, ModelParams};
 pub use memo::{EvalRecord, MemoStats, SimMemo};
 pub use metrics::{MetricsReport, METRIC_NAMES, N_METRICS};
-pub use sim::{noisy_measurement, GpuSim};
+pub use precomp::ModelPrecomp;
+pub use sim::{noisy_measurement, FootprintView, GpuSim};
 pub use valid::{Invalid, ValidSpace};

@@ -9,9 +9,9 @@
 
 use crate::cost::CostBreakdown;
 use crate::footprint::Footprint;
-use cst_space::Setting;
+use cst_space::{BuildFastHasher, Setting};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, RwLock};
 
 /// Everything the tuner needs about one setting, computed once: the
@@ -42,18 +42,28 @@ impl EvalRecord {
 
 const N_SHARDS: usize = 16;
 
+/// Shard map keyed by [`Setting`] with the fast hasher from `cst-space`:
+/// settings are internal search state, never attacker-controlled, and the
+/// 76-byte key makes SipHash the single largest cost of a memo hit.
+type ShardMap = HashMap<Setting, Arc<EvalRecord>, BuildFastHasher>;
+
 /// Sharded concurrent `Setting → EvalRecord` cache. Reads take a shard
 /// read lock; a miss computes outside any lock and inserts under the
 /// shard write lock, so concurrent evaluators never serialize on the
 /// model itself.
 pub struct SimMemo {
-    shards: [RwLock<HashMap<Setting, Arc<EvalRecord>>>; N_SHARDS],
+    shards: [RwLock<ShardMap>; N_SHARDS],
     // Relaxed monitoring counters, NOT part of the determinism contract:
     // under parallel prefetch the hit/miss split depends on thread timing,
     // so these feed dashboards and logs only — never the run journal,
     // whose memo counters come from the evaluator's serial commit path.
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
+    /// Entry cap across all shards; 0 means unbounded. Eviction only
+    /// drops cache entries — the model is deterministic, so a re-computed
+    /// record is identical and results never depend on the cap.
+    cap: AtomicUsize,
 }
 
 /// Snapshot of [`SimMemo`]'s monitoring counters.
@@ -63,14 +73,18 @@ pub struct MemoStats {
     pub hits: u64,
     /// Lookups that computed a fresh record.
     pub misses: u64,
+    /// Entries dropped to stay under the configured cap.
+    pub evictions: u64,
 }
 
 impl Default for SimMemo {
     fn default() -> Self {
         SimMemo {
-            shards: std::array::from_fn(|_| RwLock::new(HashMap::new())),
+            shards: std::array::from_fn(|_| RwLock::new(ShardMap::default())),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            cap: AtomicUsize::new(0),
         }
     }
 }
@@ -93,9 +107,50 @@ fn shard_index(s: &Setting) -> usize {
 }
 
 impl SimMemo {
-    /// Empty memo.
+    /// Empty, unbounded memo.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Empty memo bounded to roughly `cap` entries (0 = unbounded).
+    pub fn with_cap(cap: usize) -> Self {
+        let memo = Self::default();
+        memo.set_cap(cap);
+        memo
+    }
+
+    /// The configured entry cap (0 = unbounded).
+    pub fn cap(&self) -> usize {
+        self.cap.load(Ordering::Relaxed)
+    }
+
+    /// Set the entry cap (0 = unbounded) and immediately trim overflowing
+    /// shards. The cap is spread evenly over the shards, so occupancy can
+    /// briefly sit slightly above `cap` between inserts into different
+    /// shards, never by more than one batch.
+    pub fn set_cap(&self, cap: usize) {
+        self.cap.store(cap, Ordering::Relaxed);
+        if cap > 0 {
+            for shard in &self.shards {
+                self.evict_overflow(&mut shard.write().unwrap());
+            }
+        }
+    }
+
+    /// Drop arbitrary entries until `shard` fits its per-shard budget.
+    /// Which entries go is not deterministic (HashMap order), but eviction
+    /// only forgets cache state — recomputation yields identical records.
+    fn evict_overflow(&self, shard: &mut ShardMap) {
+        let cap = self.cap.load(Ordering::Relaxed);
+        if cap == 0 {
+            return;
+        }
+        let budget = cap.div_ceil(N_SHARDS);
+        while shard.len() > budget {
+            let victim = *shard.keys().next().expect("non-empty over-budget shard");
+            shard.remove(&victim);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Cached record, if present.
@@ -125,7 +180,98 @@ impl SimMemo {
         self.misses.fetch_add(1, Ordering::Relaxed);
         let fresh = Arc::new(compute());
         let mut w = shard.write().unwrap();
-        w.entry(*s).or_insert(fresh).clone()
+        let out = w.entry(*s).or_insert(fresh).clone();
+        self.evict_overflow(&mut w);
+        out
+    }
+
+    /// Batched [`SimMemo::get_or_insert_with`]: one read-lock pass per
+    /// touched shard resolves the hits, `compute` receives every miss as
+    /// a single slice (shard-grouped order), and one write-lock pass per
+    /// shard inserts the fresh records (first insert wins on races and on
+    /// duplicate batch positions, so duplicates still come out pointing
+    /// at one shared record). Output order matches `batch`.
+    ///
+    /// Duplicate *misses* are computed redundantly rather than deduped:
+    /// the hot caller ([`crate::GpuSim::evaluate_population`] behind the
+    /// evaluator's pending-distinct filter) never passes duplicates, and
+    /// a per-call dedup map costs more than the rare wasted recompute of
+    /// a deterministic record.
+    pub fn get_or_insert_batch(
+        &self,
+        batch: &[Setting],
+        compute: impl FnOnce(&[Setting]) -> Vec<EvalRecord>,
+    ) -> Vec<Arc<EvalRecord>> {
+        let n = batch.len();
+        // Group positions by shard with a counting sort: one flat index
+        // vector instead of sixteen growing ones.
+        let shard_of: Vec<u8> = batch.iter().map(|s| shard_index(s) as u8).collect();
+        let mut start = [0usize; N_SHARDS + 1];
+        for &k in &shard_of {
+            start[k as usize + 1] += 1;
+        }
+        for k in 0..N_SHARDS {
+            start[k + 1] += start[k];
+        }
+        let mut grouped: Vec<u32> = vec![0; n];
+        let mut cursor = start;
+        for (i, &k) in shard_of.iter().enumerate() {
+            grouped[cursor[k as usize]] = i as u32;
+            cursor[k as usize] += 1;
+        }
+
+        let mut out: Vec<Option<Arc<EvalRecord>>> = vec![None; n];
+        // Misses in shard-grouped order: positions, then per-shard counts
+        // so the write pass can walk the same contiguous runs.
+        let mut miss_pos: Vec<u32> = Vec::new();
+        let mut miss_end = [0usize; N_SHARDS];
+        let mut hits = 0u64;
+        for (k, shard) in self.shards.iter().enumerate() {
+            let idxs = &grouped[start[k]..start[k + 1]];
+            if !idxs.is_empty() {
+                let map = shard.read().unwrap();
+                for &i in idxs {
+                    if let Some(r) = map.get(&batch[i as usize]) {
+                        out[i as usize] = Some(r.clone());
+                        hits += 1;
+                    } else {
+                        miss_pos.push(i);
+                    }
+                }
+            }
+            miss_end[k] = miss_pos.len();
+        }
+        self.hits.fetch_add(hits, Ordering::Relaxed);
+        if miss_pos.is_empty() {
+            return out.into_iter().map(|r| r.expect("all positions resolved")).collect();
+        }
+        self.misses.fetch_add(miss_pos.len() as u64, Ordering::Relaxed);
+
+        let missing: Vec<Setting> = miss_pos.iter().map(|&i| batch[i as usize]).collect();
+        let computed = compute(&missing);
+        debug_assert_eq!(computed.len(), missing.len());
+        let mut fresh: Vec<Option<EvalRecord>> = computed.into_iter().map(Some).collect();
+
+        let mut lo = 0usize;
+        for (k, shard) in self.shards.iter().enumerate() {
+            let hi = miss_end[k];
+            if lo < hi {
+                let mut w = shard.write().unwrap();
+                for j in lo..hi {
+                    let i = miss_pos[j] as usize;
+                    let rec = match w.entry(batch[i]) {
+                        std::collections::hash_map::Entry::Occupied(e) => e.get().clone(),
+                        std::collections::hash_map::Entry::Vacant(v) => v
+                            .insert(Arc::new(fresh[j].take().expect("each miss used once")))
+                            .clone(),
+                    };
+                    out[i] = Some(rec);
+                }
+                self.evict_overflow(&mut w);
+            }
+            lo = hi;
+        }
+        out.into_iter().map(|r| r.expect("all positions resolved")).collect()
     }
 
     /// Monitoring counters: lookups served from cache vs computed fresh.
@@ -135,6 +281,7 @@ impl SimMemo {
         MemoStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
         }
     }
 
@@ -155,6 +302,7 @@ impl SimMemo {
         }
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
+        self.evictions.store(0, Ordering::Relaxed);
     }
 }
 
@@ -220,6 +368,79 @@ mod tests {
         assert_eq!(memo.len(), 32);
         memo.clear();
         assert!(memo.is_empty());
+    }
+
+    #[test]
+    fn batch_lookup_resolves_misses_and_duplicates_share_one_record() {
+        let memo = SimMemo::new();
+        let mut a = Setting::baseline();
+        a.0[0] = 7;
+        let b = Setting::baseline();
+        // Pre-populate `b`, then ask for [a, b, a, a]: `a` misses three
+        // times (duplicate misses compute redundantly — the hot caller
+        // dedups upstream), but the first insert wins, so every duplicate
+        // position resolves to the same cached record.
+        memo.get_or_insert_with(&b, || dummy_record(1.0));
+        let out = memo.get_or_insert_batch(&[a, b, a, a], |missing| {
+            assert!(missing.iter().all(|s| *s == a), "only `a` misses");
+            missing.iter().map(|_| dummy_record(5.0)).collect()
+        });
+        assert_eq!(out.len(), 4);
+        assert_eq!(out[0].time_ms(), 5.0);
+        assert_eq!(out[1].time_ms(), 1.0);
+        assert!(Arc::ptr_eq(&out[0], &out[2]) && Arc::ptr_eq(&out[0], &out[3]));
+        assert_eq!(memo.len(), 2, "one record per distinct setting");
+        let stats = memo.stats();
+        assert_eq!(stats.hits, 1, "batch hit on b");
+        assert_eq!(stats.misses, 4, "initial insert + three batch misses");
+    }
+
+    #[test]
+    fn batch_lookup_of_all_hits_computes_nothing() {
+        let memo = SimMemo::new();
+        let s = Setting::baseline();
+        memo.get_or_insert_with(&s, || dummy_record(3.0));
+        let out = memo.get_or_insert_batch(&[s, s], |_| unreachable!("no miss to compute"));
+        assert!(out.iter().all(|r| r.time_ms() == 3.0));
+    }
+
+    #[test]
+    fn cap_bounds_entries_and_counts_evictions() {
+        let memo = SimMemo::with_cap(16);
+        assert_eq!(memo.cap(), 16);
+        for v in 0..256u32 {
+            let mut s = Setting::baseline();
+            s.0[0] = v;
+            memo.get_or_insert_with(&s, || dummy_record(v as f64));
+        }
+        // Per-shard budget is ceil(16/16) = 1, so at most one entry per
+        // shard survives.
+        assert!(memo.len() <= 16, "len {} over cap", memo.len());
+        let stats = memo.stats();
+        assert!(stats.evictions >= 240, "evictions {}", stats.evictions);
+        // Evicted entries recompute to identical records: correctness
+        // never depends on the cap.
+        let mut s = Setting::baseline();
+        s.0[0] = 3;
+        let r = memo.get_or_insert_with(&s, || dummy_record(3.0));
+        assert_eq!(r.time_ms(), 3.0);
+        memo.clear();
+        assert_eq!(memo.stats(), MemoStats::default());
+    }
+
+    #[test]
+    fn set_cap_trims_immediately_and_zero_means_unbounded() {
+        let memo = SimMemo::new();
+        for v in 0..64u32 {
+            let mut s = Setting::baseline();
+            s.0[0] = v;
+            memo.get_or_insert_with(&s, || dummy_record(v as f64));
+        }
+        assert_eq!(memo.len(), 64);
+        assert_eq!(memo.stats().evictions, 0, "unbounded memo never evicts");
+        memo.set_cap(16);
+        assert!(memo.len() <= 16);
+        assert!(memo.stats().evictions >= 48);
     }
 
     #[test]

@@ -1,10 +1,11 @@
 //! The simulator facade: one stencil on one architecture.
 
 use crate::arch::GpuArch;
-use crate::cost::{eval_cost_s, kernel_cost_from_footprint, CostBreakdown};
-use crate::footprint::{footprint, Footprint, ModelParams};
-use crate::memo::{EvalRecord, SimMemo};
+use crate::cost::CostBreakdown;
+use crate::footprint::{Footprint, ModelParams};
+use crate::memo::{EvalRecord, MemoStats, SimMemo};
 use crate::metrics::{synthesize, MetricsReport};
+use crate::precomp::ModelPrecomp;
 use cst_space::Setting;
 use cst_stencil::StencilSpec;
 use rand::Rng;
@@ -28,9 +29,10 @@ use std::sync::Arc;
 /// ```
 #[derive(Debug, Clone)]
 pub struct GpuSim {
-    spec: StencilSpec,
-    arch: GpuArch,
-    params: ModelParams,
+    /// Precomputed model tables for this (stencil, arch, params) triple;
+    /// also owns the canonical copies of the three inputs. Built once,
+    /// shared by clones.
+    precomp: Arc<ModelPrecomp>,
     /// Shared per-setting cache of footprint/cost/eval-cost; `None`
     /// disables memoization (benchmarking the uncached path). Clones of a
     /// `GpuSim` share the cache, so the validity check, the measurement
@@ -54,7 +56,7 @@ impl GpuSim {
     /// ablations).
     pub fn with_params(spec: StencilSpec, arch: GpuArch, params: ModelParams) -> Self {
         let memo = memo_enabled().then(|| Arc::new(SimMemo::new()));
-        GpuSim { spec, arch, params, memo }
+        GpuSim { precomp: Arc::new(ModelPrecomp::new(spec, arch, params)), memo }
     }
 
     /// This simulator with memoization disabled (every call recomputes).
@@ -63,16 +65,38 @@ impl GpuSim {
         self
     }
 
+    /// Whether a memo backs this simulator (false under `CST_NO_MEMO=1`
+    /// or after [`GpuSim::without_memo`]).
+    pub fn has_memo(&self) -> bool {
+        self.memo.is_some()
+    }
+
     /// Number of settings with cached model output.
     pub fn memo_len(&self) -> usize {
         self.memo.as_ref().map_or(0, |m| m.len())
     }
 
+    /// Monitoring counters of the backing memo (all-zero when disabled).
+    /// Racy-by-design under concurrent prefetch; never journal material.
+    pub fn memo_stats(&self) -> MemoStats {
+        self.memo.as_ref().map_or_else(MemoStats::default, |m| m.stats())
+    }
+
+    /// Swap the private memo for the process-wide one shared by every
+    /// simulator on the same (stencil, arch) — see [`crate::registry`].
+    /// Strictly opt-in (concurrent `cst-serve` sessions use it so they
+    /// hit each other's cache) and a no-op when memoization is disabled
+    /// (`CST_NO_MEMO=1` / [`GpuSim::without_memo`] semantics win) or when
+    /// the model constants are non-default: the registry key does not
+    /// cover [`ModelParams`], so only default-params simulators may pool.
+    pub fn enable_shared_memo(&mut self) {
+        if self.memo.is_some() && *self.params() == ModelParams::default() {
+            self.memo = Some(crate::registry::shared_memo(self.spec(), self.arch()));
+        }
+    }
+
     fn compute_record(&self, s: &Setting) -> EvalRecord {
-        let f = footprint(&self.spec, &self.arch, s, &self.params);
-        let cost = kernel_cost_from_footprint(&self.spec, &self.arch, s, &f, &self.params);
-        let cost_s = eval_cost_s(&self.spec, &self.arch, s, cost.total_ms, &self.params);
-        EvalRecord { footprint: f, cost, cost_s }
+        self.precomp.record(s)
     }
 
     /// Everything the tuner needs about `s` — footprint, cost breakdown,
@@ -86,24 +110,45 @@ impl GpuSim {
         }
     }
 
+    /// Batch counterpart of [`GpuSim::evaluate_full`]: one memo pass
+    /// resolves the hits, and the distinct misses are evaluated in a
+    /// single structure-of-arrays column sweep
+    /// ([`ModelPrecomp::record_batch`]). Record `i` is the same record a
+    /// serial `evaluate_full` loop would produce for `batch[i]`; only the
+    /// locking and memory layout differ.
+    pub fn evaluate_population(&self, batch: &[Setting]) -> Vec<Arc<EvalRecord>> {
+        match &self.memo {
+            Some(memo) => {
+                memo.get_or_insert_batch(batch, |missing| self.precomp.record_batch(missing))
+            }
+            None => self.precomp.record_batch(batch).into_iter().map(Arc::new).collect(),
+        }
+    }
+
     /// The stencil under test.
     pub fn spec(&self) -> &StencilSpec {
-        &self.spec
+        self.precomp.spec()
     }
 
     /// The architecture preset.
     pub fn arch(&self) -> &GpuArch {
-        &self.arch
+        self.precomp.arch()
     }
 
     /// The model constants.
     pub fn params(&self) -> &ModelParams {
-        &self.params
+        self.precomp.params()
     }
 
-    /// Resource footprint of a setting.
-    pub fn footprint(&self, s: &Setting) -> Footprint {
-        self.evaluate_full(s).footprint.clone()
+    /// The precomputed model tables.
+    pub fn precomp(&self) -> &ModelPrecomp {
+        &self.precomp
+    }
+
+    /// Resource footprint of a setting, as a cheap view borrowing the
+    /// cached record (no `Footprint` clone per call).
+    pub fn footprint(&self, s: &Setting) -> FootprintView {
+        FootprintView(self.evaluate_full(s))
     }
 
     /// Full cost breakdown of a setting.
@@ -121,6 +166,40 @@ impl GpuSim {
     /// measurement noise (~1σ = 1.5%), as timers on real hardware jitter.
     pub fn measure(&self, s: &Setting, rng: &mut impl Rng) -> f64 {
         noisy_measurement(self.kernel_time_ms(s), rng)
+    }
+}
+
+/// A borrowed view of a cached setting's [`Footprint`]: holds the
+/// [`EvalRecord`] `Arc` instead of cloning the 23-field struct out of it
+/// on every [`GpuSim::footprint`] call. Dereferences to [`Footprint`], so
+/// field reads and `&Footprint` arguments work unchanged.
+#[derive(Debug, Clone)]
+pub struct FootprintView(Arc<EvalRecord>);
+
+impl FootprintView {
+    /// An owned copy, for callers that must outlive the cache entry
+    /// independently.
+    pub fn to_footprint(&self) -> Footprint {
+        self.0.footprint.clone()
+    }
+}
+
+impl std::ops::Deref for FootprintView {
+    type Target = Footprint;
+    fn deref(&self) -> &Footprint {
+        &self.0.footprint
+    }
+}
+
+impl PartialEq for FootprintView {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.footprint == other.0.footprint
+    }
+}
+
+impl PartialEq<Footprint> for FootprintView {
+    fn eq(&self, other: &Footprint) -> bool {
+        self.0.footprint == *other
     }
 }
 
@@ -143,7 +222,7 @@ impl GpuSim {
     /// Profile a setting: kernel time plus the Nsight-style metric vector.
     pub fn profile(&self, s: &Setting) -> MetricsReport {
         let r = self.evaluate_full(s);
-        synthesize(&self.spec, &self.arch, &r.footprint, &r.cost)
+        synthesize(self.spec(), self.arch(), &r.footprint, &r.cost)
     }
 
     /// Whether the setting launches without spilling registers or
@@ -212,6 +291,89 @@ mod tests {
         // The full hot-path triple for one candidate costs one record.
         let _ = clone.resource_ok(&Setting::baseline());
         let _ = clone.eval_cost_s(&Setting::baseline());
+        assert_eq!(sim.memo_len(), 1);
+    }
+
+    #[test]
+    fn population_matches_serial_evaluate_full() {
+        let sim = GpuSim::new(suite::spec_by_name("helmholtz").unwrap(), GpuArch::a100());
+        let vs = crate::valid::ValidSpace::new(
+            cst_space::OptSpace::for_stencil(sim.spec()),
+            sim.clone(),
+        );
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut batch: Vec<Setting> = (0..48).map(|_| vs.random_valid(&mut rng)).collect();
+        batch.push(batch[5]); // duplicate exercises the shared-Arc path
+        let pop = sim.evaluate_population(&batch);
+        assert_eq!(pop.len(), batch.len());
+        for (s, r) in batch.iter().zip(&pop) {
+            let serial = sim.evaluate_full(s);
+            assert!(Arc::ptr_eq(r, &serial), "population and serial must share the cache entry");
+        }
+        assert!(Arc::ptr_eq(&pop[5], &pop[48]), "duplicate settings share one record");
+    }
+
+    #[test]
+    fn population_without_memo_matches_memoized_results() {
+        let spec = suite::spec_by_name("j3d7pt").unwrap();
+        let cached = GpuSim::new(spec.clone(), GpuArch::v100());
+        let uncached = GpuSim::new(spec, GpuArch::v100()).without_memo();
+        assert!(cached.has_memo() && !uncached.has_memo());
+        let batch: Vec<Setting> = (1..=16u32)
+            .map(|v| {
+                let mut s = Setting::baseline();
+                s.0[ParamId::UFy.index()] = v.next_power_of_two();
+                s
+            })
+            .collect();
+        let a = cached.evaluate_population(&batch);
+        let b = uncached.evaluate_population(&batch);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.time_ms().to_bits(), y.time_ms().to_bits());
+            assert_eq!(x.cost_s.to_bits(), y.cost_s.to_bits());
+        }
+        assert_eq!(uncached.memo_len(), 0, "no-memo population path must not cache");
+    }
+
+    #[test]
+    fn shared_memo_is_opt_in_and_respects_gates() {
+        // Distinct (stencil, arch) from other tests so registry state
+        // stays private to this assertion.
+        let spec = suite::spec_by_name("addsgd6").unwrap();
+        let mut a = GpuSim::new(spec.clone(), GpuArch::small());
+        let mut b = GpuSim::new(spec.clone(), GpuArch::small());
+        let plain = GpuSim::new(spec.clone(), GpuArch::small());
+        a.enable_shared_memo();
+        b.enable_shared_memo();
+        let _ = a.kernel_time_ms(&Setting::baseline());
+        assert_eq!(b.memo_len(), 1, "opted-in sims share one cache");
+        assert_eq!(plain.memo_len(), 0, "non-opted sims keep a private cache");
+        // Custom model params must not pool under a key that ignores them.
+        let mut custom = GpuSim::with_params(
+            spec.clone(),
+            GpuArch::small(),
+            crate::footprint::ModelParams { ilp_gain: 0.2, ..Default::default() },
+        );
+        custom.enable_shared_memo();
+        let _ = custom.kernel_time_ms(&Setting::baseline().with(ParamId::UFx, 2));
+        assert_eq!(b.memo_len(), 1, "non-default params stay out of the shared memo");
+        // `without_memo` wins over sharing.
+        let mut off = GpuSim::new(spec, GpuArch::small()).without_memo();
+        off.enable_shared_memo();
+        assert!(!off.has_memo());
+    }
+
+    #[test]
+    fn footprint_view_derefs_and_compares() {
+        let sim = GpuSim::new(suite::spec_by_name("j3d7pt").unwrap(), GpuArch::a100());
+        let s = Setting::baseline();
+        let view = sim.footprint(&s);
+        assert!(!view.spilled);
+        assert!(view.occupancy > 0.0);
+        assert_eq!(view, sim.footprint(&s));
+        let owned = view.to_footprint();
+        assert_eq!(view, owned);
+        // The view borrows the cached record rather than cloning it.
         assert_eq!(sim.memo_len(), 1);
     }
 

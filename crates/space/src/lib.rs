@@ -16,10 +16,15 @@
 //! overflow) are checked by the GPU model in `cst-gpu-sim`; the
 //! `ValidSpace` wrapper there composes both.
 
+pub mod hash;
 pub mod param;
 pub mod setting;
 pub mod space;
 
+pub use hash::{
+    setting_map_with_capacity, setting_set_with_capacity, BuildFastHasher, FastHasher, SettingMap,
+    SettingSet,
+};
 pub use param::{ParamId, ParamKind, N_PARAMS};
 pub use setting::Setting;
 pub use space::{ConstraintViolation, OptSpace};

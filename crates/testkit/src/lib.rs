@@ -41,6 +41,6 @@ pub use golden::{
 pub use loopback::{split_stream, LoopbackServer};
 pub use oracle::{
     batch_vs_serial, fault_run_determinism, journal_transparency, memo_transparency,
-    zero_fault_transparency,
+    precomp_vs_direct, zero_fault_transparency,
 };
 pub use runner::PropRunner;

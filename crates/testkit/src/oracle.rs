@@ -8,7 +8,9 @@
 //! returns `Err` with the first mismatching site, so a regression
 //! pinpoints itself.
 
-use cst_gpu_sim::{FaultProfile, GpuArch, GpuSim};
+use cst_gpu_sim::cost::{eval_cost_s, kernel_cost_from_footprint};
+use cst_gpu_sim::footprint::footprint;
+use cst_gpu_sim::{EvalRecord, FaultProfile, GpuArch, GpuSim, ModelParams, ModelPrecomp};
 use cst_space::Setting;
 use cst_stencil::StencilSpec;
 use cstuner_core::{Evaluator, FaultStats, SimEvaluator, Tuner};
@@ -68,6 +70,89 @@ pub fn memo_transparency(
     }
     bits_equal("time_ms", &ta, &tb)?;
     bits_equal("cost_s", &ca, &cb)
+}
+
+/// Compare two [`EvalRecord`]s field-by-field, f64s by bit pattern.
+fn records_equal(label: &str, a: &EvalRecord, b: &EvalRecord) -> Result<(), String> {
+    let (af, bf) = (&a.footprint, &b.footprint);
+    let floats = [
+        ("regs_per_thread", af.regs_per_thread, bf.regs_per_thread),
+        ("occupancy", af.occupancy, bf.occupancy),
+        ("waves", af.waves, bf.waves),
+        ("tail_eff", af.tail_eff, bf.tail_eff),
+        ("gld_eff", af.gld_eff, bf.gld_eff),
+        ("gst_eff", af.gst_eff, bf.gst_eff),
+        ("reads_eff", af.reads_eff, bf.reads_eff),
+        ("dram_bytes", af.dram_bytes, bf.dram_bytes),
+        ("flops_eff", af.flops_eff, bf.flops_eff),
+        ("ilp", af.ilp, bf.ilp),
+        ("cache_capture", af.cache_capture, bf.cache_capture),
+        ("compute_ms", a.cost.compute_ms, b.cost.compute_ms),
+        ("memory_ms", a.cost.memory_ms, b.cost.memory_ms),
+        ("sync_ms", a.cost.sync_ms, b.cost.sync_ms),
+        ("launch_ms", a.cost.launch_ms, b.cost.launch_ms),
+        ("total_ms", a.cost.total_ms, b.cost.total_ms),
+        ("cost_s", a.cost_s, b.cost_s),
+    ];
+    for (field, x, y) in floats {
+        if x.to_bits() != y.to_bits() {
+            return Err(format!("{label}: {field} diverged: {x} vs {y}"));
+        }
+    }
+    let ints = [
+        ("shmem_per_tb", af.shmem_per_tb, bf.shmem_per_tb),
+        ("threads_total", af.threads_total, bf.threads_total),
+        ("tb_size", af.tb_size as u64, bf.tb_size as u64),
+        ("n_tbs", af.n_tbs, bf.n_tbs),
+        ("tb_per_sm", af.tb_per_sm as u64, bf.tb_per_sm as u64),
+        ("stream_steps", af.stream_steps, bf.stream_steps),
+        ("uf_prod", af.uf_prod, bf.uf_prod),
+        ("merged_pts", af.merged_pts, bf.merged_pts),
+        ("spilled", af.spilled as u64, bf.spilled as u64),
+        ("shmem_overflow", af.shmem_overflow as u64, bf.shmem_overflow as u64),
+    ];
+    for (field, x, y) in ints {
+        if x != y {
+            return Err(format!("{label}: {field} diverged: {x} vs {y}"));
+        }
+    }
+    Ok(())
+}
+
+/// Oracle: the precomputed model ([`ModelPrecomp`], the simulator hot
+/// path) is bit-identical to the direct reference composition
+/// `footprint → kernel_cost_from_footprint → eval_cost_s` — for both the
+/// per-setting `record` and the columnar `record_batch` path, on valid
+/// settings and on raw (spilled / overflowing / unlaunchable) corners.
+pub fn precomp_vs_direct(
+    spec: &StencilSpec,
+    arch: &GpuArch,
+    seed: u64,
+    n: usize,
+) -> Result<(), String> {
+    let mp = ModelParams::default();
+    let sim = GpuSim::new(spec.clone(), arch.clone());
+    let valid = cst_gpu_sim::ValidSpace::new(cst_space::OptSpace::for_stencil(spec), sim.clone());
+    let pre = ModelPrecomp::new(spec.clone(), arch.clone(), mp.clone());
+    let mut batch = valid_settings(&valid, seed, n);
+    batch.extend(raw_settings(valid.space(), seed ^ 0x5eed, n));
+    let direct: Vec<EvalRecord> = batch
+        .iter()
+        .map(|s| {
+            let f = footprint(spec, arch, s, &mp);
+            let cost = kernel_cost_from_footprint(spec, arch, s, &f, &mp);
+            let cost_s = eval_cost_s(spec, arch, s, cost.total_ms, &mp);
+            EvalRecord { footprint: f, cost, cost_s }
+        })
+        .collect();
+    let column = pre.record_batch(&batch);
+    for (i, (s, d)) in batch.iter().zip(&direct).enumerate() {
+        records_equal(&format!("record[{i}]"), &pre.record(s), d)?;
+        records_equal(&format!("record_batch[{i}]"), &column[i], d)?;
+        // The memoized simulator front door serves the same bits.
+        records_equal(&format!("evaluate_full[{i}]"), &sim.evaluate_full(s), d)?;
+    }
+    Ok(())
 }
 
 /// Oracle: [`SimEvaluator::evaluate_batch`] (parallel prefetch + serial

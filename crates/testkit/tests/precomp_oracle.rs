@@ -1,0 +1,59 @@
+//! Differential oracle for the precomputed model: the hot path
+//! ([`cst_gpu_sim::ModelPrecomp`] — lookup tables plus hoisted arch and
+//! stencil constants) must reproduce the direct reference composition
+//! `footprint → kernel_cost_from_footprint → eval_cost_s` *bit for bit*,
+//! for every stencil in the suite on both reference architectures.
+//! Approximate agreement is not enough: the precomputed path backs every
+//! memoized record, so a single ULP of drift would silently change golden
+//! fixtures, journal bytes and tuning outcomes.
+
+use cst_gpu_sim::GpuArch;
+use cst_stencil::suite;
+use cst_testkit::{arb_setting, precomp_vs_direct, PropRunner};
+
+/// Full suite × both arches × random settings (valid ones plus raw
+/// spilled/overflowing corners — the oracle generates both).
+#[test]
+fn precomputed_model_matches_direct_path_across_the_suite() {
+    for (i, k) in suite::all_kernels().iter().enumerate() {
+        for (j, arch) in [GpuArch::a100(), GpuArch::v100()].iter().enumerate() {
+            let seed = (i as u64) << 8 | j as u64;
+            precomp_vs_direct(&k.spec, arch, seed, 24)
+                .unwrap_or_else(|e| panic!("{} on {}: {e}", k.spec.name, arch.name));
+        }
+    }
+}
+
+/// Property form: proptest-generated settings (which bias toward the
+/// lattice corners the seeded generators rarely reach) agree too.
+#[test]
+fn precomputed_model_matches_direct_path_on_generated_settings() {
+    let spec = suite::spec_by_name("hypterm").unwrap();
+    let arch = GpuArch::a100();
+    let pre = cst_gpu_sim::ModelPrecomp::new(
+        spec.clone(),
+        arch.clone(),
+        cst_gpu_sim::ModelParams::default(),
+    );
+    let mp = cst_gpu_sim::ModelParams::default();
+    PropRunner::new("precomp-vs-direct").cases(96).run(&arb_setting(spec.grid), |s| {
+        let f = cst_gpu_sim::footprint::footprint(&spec, &arch, &s, &mp);
+        let cost = cst_gpu_sim::cost::kernel_cost_from_footprint(&spec, &arch, &s, &f, &mp);
+        let cost_s = cst_gpu_sim::cost::eval_cost_s(&spec, &arch, &s, cost.total_ms, &mp);
+        let got = pre.record(&s);
+        let bits = [
+            ("total_ms", got.cost.total_ms, cost.total_ms),
+            ("cost_s", got.cost_s, cost_s),
+            ("occupancy", got.footprint.occupancy, f.occupancy),
+        ];
+        for (field, x, y) in bits {
+            if x.to_bits() != y.to_bits() {
+                return Err(format!("{field} diverged for {s:?}: {x} vs {y}"));
+            }
+        }
+        if got.footprint.spilled != f.spilled || got.footprint.shmem_overflow != f.shmem_overflow {
+            return Err(format!("resource verdict diverged for {s:?}"));
+        }
+        Ok(())
+    });
+}

@@ -13,7 +13,7 @@
 //! cstuner obs diff BASE CAND                     # compare two runs
 //! cstuner obs gate BASE CAND [--save FILE]       # drift gate (exit 1 on regress)
 //! cstuner obs dashboard [--store DIR]            # whole-archive table
-//! cstuner serve [--addr HOST:PORT] [--workers N] [--queue N] [--archive DIR]
+//! cstuner serve [--addr HOST:PORT] [--workers N] [--queue N] [--archive DIR] [--memo-cap N]
 //! cstuner client tune   [--addr HOST:PORT] [tune flags]     # tune via a daemon
 //! cstuner client status --session N [--addr HOST:PORT]
 //! cstuner client watch  --session N [--addr HOST:PORT] [--journal FILE]
@@ -350,13 +350,14 @@ fn cmd_obs(args: &[String]) {
 /// `cstuner serve`: run the tuning-as-a-service daemon in the
 /// foreground until a client sends `shutdown`.
 fn cmd_serve(flags: &HashMap<String, String>) {
-    check_flags("serve", flags, &["addr", "workers", "queue", "archive"]);
+    check_flags("serve", flags, &["addr", "workers", "queue", "archive", "memo-cap"]);
     let defaults = ServeConfig::default();
     let cfg = ServeConfig {
         addr: flags.get("addr").cloned().unwrap_or(defaults.addr),
         workers: flag_u64(flags, "workers").map(|w| w as usize).unwrap_or(defaults.workers),
         queue_depth: flag_u64(flags, "queue").map(|q| q as usize).unwrap_or(defaults.queue_depth),
         archive: flags.get("archive").filter(|p| !p.is_empty()).map(std::path::PathBuf::from),
+        memo_cap: flag_u64(flags, "memo-cap").map(|c| c as usize),
     };
     let server = Server::bind(&cfg).unwrap_or_else(|e| {
         eprintln!("{e}");
