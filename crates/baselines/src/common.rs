@@ -1,183 +1,9 @@
 //! Shared bookkeeping for baseline tuners.
+//!
+//! The [`Recorder`] (iteration batching, best-so-far curve, `iteration`
+//! journal events) moved into the core ask/tell kernel
+//! (`cstuner_core::asktell`) when the search loop was unified; it is
+//! re-exported here so baseline code and downstream users keep their
+//! import path.
 
-use cst_space::Setting;
-use cst_telemetry::{event, Telemetry};
-use cstuner_core::{CurvePoint, Evaluator, PreprocBreakdown, TuneError, TuningOutcome};
-
-/// Batches evaluations into iterations of `pop` and records the
-/// best-so-far curve, matching the accounting of csTuner's search stage
-/// ("the number of parameter settings evaluated during one iteration is
-/// set to the population size", §V-A2).
-#[derive(Debug, Clone)]
-pub struct Recorder {
-    pop: usize,
-    in_iter: usize,
-    iteration: u32,
-    best_ms: f64,
-    best_setting: Option<Setting>,
-    curve: Vec<CurvePoint>,
-    max_iterations: u32,
-    tel: Telemetry,
-}
-
-impl Recorder {
-    /// New recorder with the iteration batch size and iteration cap.
-    pub fn new(pop: usize, max_iterations: u32) -> Self {
-        assert!(pop > 0);
-        Recorder {
-            pop,
-            in_iter: 0,
-            iteration: 0,
-            best_ms: f64::INFINITY,
-            best_setting: None,
-            curve: Vec::new(),
-            max_iterations,
-            tel: Telemetry::noop(),
-        }
-    }
-
-    /// Attach a telemetry handle: every curve point this recorder pushes
-    /// is mirrored as an `iteration` journal event, so baseline journals
-    /// line up with csTuner's convergence records.
-    pub fn with_telemetry(mut self, tel: &Telemetry) -> Self {
-        self.tel = tel.clone();
-        self
-    }
-
-    /// Evaluate a setting through the evaluator, update the incumbent, and
-    /// advance iteration accounting. Returns the measured time.
-    pub fn measure(&mut self, eval: &mut dyn Evaluator, s: Setting) -> f64 {
-        let before = eval.unique_evaluations();
-        let t = eval.evaluate(&s);
-        if t < self.best_ms {
-            self.best_ms = t;
-            self.best_setting = Some(s);
-        }
-        // Memoized repeats are free on real hardware too; only fresh
-        // evaluations advance the iteration counter.
-        if eval.unique_evaluations() > before {
-            self.in_iter += 1;
-        }
-        if self.in_iter >= self.pop {
-            self.in_iter = 0;
-            self.iteration += 1;
-            self.curve.push(CurvePoint {
-                iteration: self.iteration,
-                elapsed_s: eval.clock().now_s(),
-                best_ms: self.best_ms,
-            });
-            event!(
-                self.tel,
-                "iteration",
-                iteration = self.iteration,
-                v_s = eval.clock().now_s(),
-                best_ms = self.best_ms,
-                evals = eval.unique_evaluations(),
-            );
-        }
-        t
-    }
-
-    /// Batched [`Recorder::measure`]: the evaluator prefetches the whole
-    /// chunk's model work in parallel, then each setting is measured and
-    /// accounted serially in input order, stopping once [`Recorder::done`]
-    /// holds — the bookkeeping (noise draws, clock charges, curve points)
-    /// is identical to the equivalent serial loop.
-    pub fn measure_batch(&mut self, eval: &mut dyn Evaluator, batch: &[Setting]) {
-        eval.prefetch(batch);
-        for &s in batch {
-            if self.done(eval) {
-                break;
-            }
-            self.measure(eval, s);
-        }
-    }
-
-    /// Whether the tuner should stop (budget or iteration cap).
-    pub fn done(&self, eval: &dyn Evaluator) -> bool {
-        eval.expired() || self.iteration >= self.max_iterations
-    }
-
-    /// Current best time.
-    pub fn best_ms(&self) -> f64 {
-        self.best_ms
-    }
-
-    /// Current best setting, if any finite evaluation happened.
-    pub fn best_setting(&self) -> Option<Setting> {
-        self.best_setting
-    }
-
-    /// Finalize into a [`TuningOutcome`].
-    pub fn finish(
-        mut self,
-        name: &'static str,
-        eval: &dyn Evaluator,
-    ) -> Result<TuningOutcome, TuneError> {
-        if self.in_iter > 0 || self.curve.is_empty() {
-            self.iteration += 1;
-            self.curve.push(CurvePoint {
-                iteration: self.iteration,
-                elapsed_s: eval.clock().now_s(),
-                best_ms: self.best_ms,
-            });
-            event!(
-                self.tel,
-                "iteration",
-                iteration = self.iteration,
-                v_s = eval.clock().now_s(),
-                best_ms = self.best_ms,
-                evals = eval.unique_evaluations(),
-            );
-        }
-        let best_setting = self.best_setting.ok_or(TuneError::BudgetTooSmall)?;
-        if !self.best_ms.is_finite() {
-            return Err(TuneError::EmptySpace);
-        }
-        Ok(TuningOutcome {
-            tuner: name,
-            best_setting,
-            best_time_ms: self.best_ms,
-            curve: self.curve,
-            evaluations: eval.unique_evaluations(),
-            search_s: eval.clock().now_s(),
-            preproc: PreprocBreakdown::default(),
-            faults: eval.fault_stats(),
-        })
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use cst_gpu_sim::GpuArch;
-    use cst_stencil::suite;
-    use cstuner_core::SimEvaluator;
-
-    #[test]
-    fn recorder_batches_iterations() {
-        let mut e = SimEvaluator::new(suite::spec_by_name("j3d7pt").unwrap(), GpuArch::a100(), 1);
-        let mut r = Recorder::new(4, 100);
-        for _ in 0..9 {
-            let s = e.random_valid();
-            r.measure(&mut e, s);
-        }
-        let out = r.finish("test", &e).unwrap();
-        // 9 evals at pop 4 → 2 full iterations + 1 flush.
-        assert_eq!(out.curve.len(), 3);
-        assert_eq!(out.curve.last().unwrap().iteration, 3);
-    }
-
-    #[test]
-    fn recorder_respects_iteration_cap() {
-        let mut e = SimEvaluator::new(suite::spec_by_name("j3d7pt").unwrap(), GpuArch::a100(), 2);
-        let mut r = Recorder::new(2, 3);
-        let mut n = 0;
-        while !r.done(&e) && n < 100 {
-            let s = e.random_valid();
-            r.measure(&mut e, s);
-            n += 1;
-        }
-        assert_eq!(n, 6, "3 iterations × pop 2");
-    }
-}
+pub use cstuner_core::Recorder;

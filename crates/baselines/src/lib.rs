@@ -1,5 +1,6 @@
 //! Re-implementations of the auto-tuners csTuner is evaluated against
-//! (§V-A2):
+//! (§V-A2), plus the kernel-native strategies the ask/tell refactor
+//! unlocked:
 //!
 //! - [`RandomSearch`] — uniform random sampling of valid settings, the
 //!   floor any tuner must beat.
@@ -16,20 +17,34 @@
 //!   expert knowledge) are tuned first, a few high-performance candidates
 //!   are kept, and the remaining parameters are tuned greedily per
 //!   candidate.
+//! - [`GridSearch`] — a deterministic coarse lattice sweep (no rng).
+//! - [`AnnealTuner`] — single-chain simulated annealing with Metropolis
+//!   accepts over the canonical setting space.
+//! - [`ForestTuner`] — an online random-forest surrogate (via `cst-ml`)
+//!   trained on told records, pre-ranking candidate settings.
 //!
-//! All four speak the same [`Tuner`] interface and produce the same
+//! All tuners speak the same [`Tuner`] interface and produce the same
 //! [`TuningOutcome`] curve format as csTuner, so the experiment harness
 //! can run the paper's iso-iteration and iso-time comparisons directly.
+//! The [`zoo`] module is the single registry the CLI, the serve daemon,
+//! and the shootout example resolve tuner names through.
 
+pub mod anneal;
 pub mod artemis;
 pub mod common;
+pub mod forest;
 pub mod garvey;
+pub mod grid;
 pub mod opentuner;
 pub mod random;
+pub mod zoo;
 
+pub use anneal::{AnnealTuner, SaOptimizer};
 pub use artemis::ArtemisTuner;
+pub use forest::{ForestOptimizer, ForestTuner};
 pub use garvey::GarveyTuner;
-pub use opentuner::OpenTunerGa;
-pub use random::RandomSearch;
+pub use grid::{GridOptimizer, GridSearch};
+pub use opentuner::{GaOptimizer, OpenTunerGa};
+pub use random::{RandomOptimizer, RandomSearch};
 
-pub use cstuner_core::{Tuner, TuningOutcome};
+pub use cstuner_core::{Optimizer, Tuner, TuningOutcome};

@@ -8,12 +8,21 @@
 //! no model-guided sampling, and no approximation-based narrowing — so
 //! convergence is slow and local optima are a real risk with a small
 //! population (§V-B).
+//!
+//! The production path runs the GA through the ask/tell kernel
+//! ([`cstuner_core::drive`]) via [`GaOptimizer`], a split-phase adapter
+//! over [`GaState`]. The pre-kernel closed-loop driver is preserved as
+//! [`OpenTunerGa::tune_legacy`] solely as the reference side of the
+//! `ga_asktell_oracle` differential test — the two are bit-identical.
 
 use crate::common::Recorder;
 use cst_ga::{GaConfig, GaState, Genome};
-use cst_space::{ParamId, Setting, N_PARAMS};
+use cst_space::{OptSpace, ParamId, Setting, N_PARAMS};
 use cst_telemetry::Telemetry;
-use cstuner_core::{Evaluator, TuneError, Tuner, TuningOutcome};
+use cstuner_core::{
+    drive, Evaluator, KernelConfig, Observation, Optimizer, SearchCtx, TuneError, Tuner,
+    TuningOutcome,
+};
 
 /// The OpenTuner-like baseline.
 #[derive(Debug, Clone)]
@@ -31,31 +40,33 @@ impl Default for OpenTunerGa {
 }
 
 impl OpenTunerGa {
-    fn decode(eval: &dyn Evaluator, genes: &[u32]) -> Setting {
+    fn decode(space: &OptSpace, genes: &[u32]) -> Setting {
         let mut s = Setting::baseline();
         for p in ParamId::ALL {
-            let vals = eval.space().values(p);
+            let vals = space.values(p);
             s.set(p, vals[genes[p.index()] as usize]);
         }
         // OpenTuner's configuration manipulators keep parameters
         // structurally consistent (dependent parameters are normalized),
         // so canonicalize; resource-level failures (spills, unlaunchable
         // blocks) are still discovered by running.
-        eval.space().canonicalize(&mut s);
+        space.canonicalize(&mut s);
         s
     }
-}
 
-impl Tuner for OpenTunerGa {
-    fn name(&self) -> &'static str {
-        "OpenTuner"
+    /// The pre-kernel closed-loop driver, kept verbatim as the reference
+    /// implementation for the `ga_asktell_oracle` differential test.
+    /// Production tuning goes through [`cstuner_core::drive`].
+    pub fn tune_legacy(
+        &mut self,
+        eval: &mut dyn Evaluator,
+        seed: u64,
+    ) -> Result<TuningOutcome, TuneError> {
+        self.tune_legacy_with_telemetry(eval, seed, &Telemetry::noop())
     }
 
-    fn tune(&mut self, eval: &mut dyn Evaluator, seed: u64) -> Result<TuningOutcome, TuneError> {
-        self.tune_with_telemetry(eval, seed, &Telemetry::noop())
-    }
-
-    fn tune_with_telemetry(
+    /// [`OpenTunerGa::tune_legacy`] with a telemetry handle.
+    pub fn tune_legacy_with_telemetry(
         &mut self,
         eval: &mut dyn Evaluator,
         seed: u64,
@@ -89,7 +100,8 @@ impl Tuner for OpenTunerGa {
                 // realized and prefetched at once; measurements stay
                 // serial and respect the budget *inside* the generation,
                 // or the overshoot can grow to a population of evaluations.
-                let settings: Vec<Setting> = batch.iter().map(|g| Self::decode(eval, g)).collect();
+                let settings: Vec<Setting> =
+                    batch.iter().map(|g| Self::decode(eval.space(), g)).collect();
                 if !rec.done(eval) {
                     eval.prefetch(&settings);
                 }
@@ -110,6 +122,156 @@ impl Tuner for OpenTunerGa {
             state.step_batched(&mut f);
         }
         rec.finish(self.name(), eval)
+    }
+}
+
+impl Tuner for OpenTunerGa {
+    fn name(&self) -> &'static str {
+        "OpenTuner"
+    }
+
+    fn tune(&mut self, eval: &mut dyn Evaluator, seed: u64) -> Result<TuningOutcome, TuneError> {
+        self.tune_with_telemetry(eval, seed, &Telemetry::noop())
+    }
+
+    fn tune_with_telemetry(
+        &mut self,
+        eval: &mut dyn Evaluator,
+        seed: u64,
+        tel: &Telemetry,
+    ) -> Result<TuningOutcome, TuneError> {
+        let mut opt = GaOptimizer::new(self.ga);
+        let cfg = KernelConfig {
+            pop: self.ga.n_islands * self.ga.pop_per_island,
+            max_iterations: self.max_iterations,
+            ..KernelConfig::default()
+        };
+        drive(&mut opt, eval, &cfg, seed, tel)
+    }
+}
+
+/// Where the split-phase GA ledger stands inside one generation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum GaPhase {
+    /// Next fitness assignment completes the pre-breed evaluation.
+    PreBreed,
+    /// Next fitness assignment completes the post-breed evaluation.
+    PostBreed,
+}
+
+/// The island GA as an ask/tell [`Optimizer`]: one legacy
+/// `step_batched` call unrolls to `ask(pre-breed pending) → tell →
+/// breed → ask(children) → tell → finish_generation`, with fitness
+/// `-time_ms` and skipped settings mapped to `NEG_INFINITY` exactly as
+/// the closed-loop driver did. Bit-identical to
+/// [`OpenTunerGa::tune_legacy`], which the `ga_asktell_oracle` test
+/// pins.
+#[derive(Debug)]
+pub struct GaOptimizer {
+    ga: GaConfig,
+    state: Option<GaState>,
+    phase: GaPhase,
+    /// Settings asked and not yet fully told in the current phase.
+    pending: usize,
+    /// Fitnesses accumulated across (possibly chunked) tells.
+    acc: Vec<f64>,
+}
+
+impl GaOptimizer {
+    /// New adapter with the given GA options (state is built in `init`).
+    pub fn new(ga: GaConfig) -> Self {
+        GaOptimizer { ga, state: None, phase: GaPhase::PreBreed, pending: 0, acc: Vec::new() }
+    }
+
+    /// Balance the ledger for the just-completed phase and advance the
+    /// generation machinery.
+    fn advance(&mut self, fits: &[f64]) {
+        let state = self.state.as_mut().expect("init before advance");
+        state.assign_pending(fits);
+        match self.phase {
+            GaPhase::PreBreed => {
+                state.breed_generation();
+                self.phase = GaPhase::PostBreed;
+            }
+            GaPhase::PostBreed => {
+                state.finish_generation();
+                self.phase = GaPhase::PreBreed;
+            }
+        }
+    }
+}
+
+impl Optimizer for GaOptimizer {
+    fn name(&self) -> &'static str {
+        "OpenTuner"
+    }
+
+    fn init(&mut self, ctx: &mut SearchCtx<'_>, seed: u64, tel: &Telemetry) {
+        let cards: Vec<u32> =
+            ParamId::ALL.iter().map(|&p| ctx.space().values(p).len() as u32).collect();
+        assert_eq!(cards.len(), N_PARAMS);
+        let pop = self.ga.n_islands * self.ga.pop_per_island;
+        let mut state = GaState::new(Genome::new(cards), self.ga, seed);
+        state.set_telemetry(tel);
+        // Same seeding as the legacy driver: the baseline setting plus
+        // pop−1 valid draws from the evaluator's stream, in that order.
+        let encode = |ctx: &SearchCtx<'_>, s: &Setting| -> Vec<u32> {
+            ParamId::ALL
+                .iter()
+                .map(|&p| ctx.space().value_index(p, s.get(p)).expect("valid value") as u32)
+                .collect()
+        };
+        let mut seeds = vec![encode(ctx, &Setting::baseline())];
+        for _ in 1..pop {
+            let s = ctx.random_valid();
+            seeds.push(encode(ctx, &s));
+        }
+        state.seed_with(&seeds);
+        self.state = Some(state);
+    }
+
+    fn ask(&mut self, ctx: &mut SearchCtx<'_>) -> Vec<Setting> {
+        loop {
+            let genes = self.state.as_ref().expect("init before ask").pending_genes();
+            if !genes.is_empty() {
+                self.pending = genes.len();
+                self.acc.clear();
+                return genes.iter().map(|g| OpenTunerGa::decode(ctx.space(), g)).collect();
+            }
+            // Nothing pending in this phase: the empty assignment still
+            // refreshes best-so-far (first-encounter tie rule), exactly
+            // like the legacy eval_pending on an empty batch.
+            self.advance(&[]);
+        }
+    }
+
+    fn tell(&mut self, obs: &[Observation]) {
+        for o in obs {
+            self.acc.push(match o.time_ms {
+                Some(t) => -t,
+                None => f64::NEG_INFINITY,
+            });
+        }
+        if self.pending > 0 && self.acc.len() >= self.pending {
+            assert_eq!(self.acc.len(), self.pending, "told more settings than asked");
+            let fits = std::mem::take(&mut self.acc);
+            self.pending = 0;
+            self.advance(&fits);
+        }
+    }
+
+    fn mid_generation(&self) -> bool {
+        // After the pre-breed tell the generation's ledger is only half
+        // balanced: the kernel must keep feeding (possibly all-skip)
+        // batches until finish_generation runs, as the legacy driver's
+        // between-generations-only budget check did.
+        self.phase == GaPhase::PostBreed || self.pending > 0
+    }
+
+    fn asks_valid_only(&self) -> bool {
+        // Raw genome decodes are canonical but may still be resource-
+        // invalid; OpenTuner discovers that by (charged) evaluation.
+        false
     }
 }
 
@@ -152,7 +314,7 @@ mod tests {
             let vals = e.space().values(p);
             let mut genes = vec![0u32; N_PARAMS];
             genes[p.index()] = (vals.len() - 1) as u32;
-            let s = OpenTunerGa::decode(&e, &genes);
+            let s = OpenTunerGa::decode(e.space(), &genes);
             assert!(e.space().values(p).contains(&s.get(p)) || s.get(p) == 1, "{p}");
         }
     }
@@ -171,5 +333,23 @@ mod tests {
             out.curve[0].best_ms,
             baseline
         );
+    }
+
+    #[test]
+    fn kernel_path_matches_legacy_bitwise() {
+        // The full differential oracle lives in cst-testkit; this is the
+        // crate-local smoke version of the same claim.
+        for seed in [2u64, 11] {
+            let spec = suite::spec_by_name("j3d7pt").unwrap();
+            let mut e1 = SimEvaluator::with_budget(spec.clone(), GpuArch::a100(), seed, 40.0);
+            let mut e2 = SimEvaluator::with_budget(spec, GpuArch::a100(), seed, 40.0);
+            let a = OpenTunerGa::default().tune_legacy(&mut e1, seed).unwrap();
+            let b = OpenTunerGa::default().tune(&mut e2, seed).unwrap();
+            assert_eq!(a.best_time_ms.to_bits(), b.best_time_ms.to_bits());
+            assert_eq!(a.best_setting, b.best_setting);
+            assert_eq!(a.evaluations, b.evaluations);
+            assert_eq!(a.search_s.to_bits(), b.search_s.to_bits());
+            assert_eq!(a.curve.len(), b.curve.len());
+        }
     }
 }

@@ -1,8 +1,11 @@
 //! Uniform random search over valid settings.
 
-use crate::common::Recorder;
+use cst_space::Setting;
 use cst_telemetry::Telemetry;
-use cstuner_core::{Evaluator, TuneError, Tuner, TuningOutcome};
+use cstuner_core::{
+    drive, Evaluator, KernelConfig, Observation, Optimizer, SearchCtx, TuneError, Tuner,
+    TuningOutcome,
+};
 
 /// The sanity-floor baseline: draw valid settings uniformly and keep the
 /// best. Any informed tuner must beat this at equal budget.
@@ -32,18 +35,45 @@ impl Tuner for RandomSearch {
     fn tune_with_telemetry(
         &mut self,
         eval: &mut dyn Evaluator,
-        _seed: u64,
+        seed: u64,
         tel: &Telemetry,
     ) -> Result<TuningOutcome, TuneError> {
-        let mut rec = Recorder::new(self.pop, self.max_iterations).with_telemetry(tel);
-        // One population per chunk: draws stay on the evaluator's rng
-        // stream, then the chunk is prefetched and measured in order.
-        while !rec.done(eval) {
-            let chunk: Vec<_> = (0..self.pop).map(|_| eval.random_valid()).collect();
-            rec.measure_batch(eval, &chunk);
-        }
-        rec.finish(self.name(), eval)
+        let mut opt = RandomOptimizer { pop: self.pop };
+        let cfg = KernelConfig {
+            pop: self.pop,
+            max_iterations: self.max_iterations,
+            ..KernelConfig::default()
+        };
+        drive(&mut opt, eval, &cfg, seed, tel)
     }
+}
+
+/// Random search as an ask/tell [`Optimizer`]: one population of valid
+/// draws per ask (all randomness on the evaluator's seeded stream, so
+/// draw order matches the pre-kernel loop bit for bit), nothing learned
+/// from tells.
+#[derive(Debug, Clone)]
+pub struct RandomOptimizer {
+    /// Draws per ask (matched to the recorded iteration size).
+    pub pop: usize,
+}
+
+impl Default for RandomOptimizer {
+    fn default() -> Self {
+        RandomOptimizer { pop: 32 }
+    }
+}
+
+impl Optimizer for RandomOptimizer {
+    fn name(&self) -> &'static str {
+        "Random"
+    }
+
+    fn ask(&mut self, ctx: &mut SearchCtx<'_>) -> Vec<Setting> {
+        (0..self.pop).map(|_| ctx.random_valid()).collect()
+    }
+
+    fn tell(&mut self, _obs: &[Observation]) {}
 }
 
 #[cfg(test)]

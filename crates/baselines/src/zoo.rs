@@ -1,0 +1,284 @@
+//! The tuner zoo: one registry for every tuner the workspace ships.
+//!
+//! The CLI (`cstuner tune --tuner`, `cstuner version`, `cstuner list`),
+//! the serve daemon's request validation, the shootout example, and the
+//! testkit property suites all resolve tuners here, so adding a tuner
+//! is one [`TunerEntry`] — the flag name, the journal display name, the
+//! builder, and (for kernel-based strategies) the raw [`Optimizer`]
+//! constructor the ask/tell property suite probes directly.
+
+use crate::{
+    AnnealTuner, ArtemisTuner, ForestTuner, GarveyTuner, GridSearch, OpenTunerGa, RandomSearch,
+};
+use cstuner_core::{CsTuner, CsTunerConfig, Optimizer, Tuner};
+
+/// One registered tuner.
+pub struct TunerEntry {
+    /// Canonical flag name (`--tuner` value, serve request `tuner` field).
+    pub flag: &'static str,
+    /// Display name used as [`cstuner_core::TuningOutcome::tuner`].
+    pub display: &'static str,
+    /// One-line description for `cstuner list` / `version`.
+    pub summary: &'static str,
+    build: fn(bool) -> Box<dyn Tuner>,
+    optimizer: Option<fn() -> Box<dyn Optimizer>>,
+}
+
+impl TunerEntry {
+    /// Build the tuner; `quick` selects the CLI's reduced-scale csTuner
+    /// configuration (other tuners are already budget-bound).
+    pub fn build(&self, quick: bool) -> Box<dyn Tuner> {
+        (self.build)(quick)
+    }
+
+    /// The raw ask/tell optimizer behind this tuner, for strategies that
+    /// run through the kernel (`None` for the pipeline-style tuners:
+    /// csTuner, Garvey, Artemis). The testkit property suite uses this
+    /// to probe `ask`/`tell` directly.
+    pub fn optimizer(&self) -> Option<Box<dyn Optimizer>> {
+        self.optimizer.map(|f| f())
+    }
+}
+
+fn build_cstuner(quick: bool) -> Box<dyn Tuner> {
+    let cfg = if quick {
+        CsTunerConfig {
+            dataset_size: 48,
+            max_iterations: 15,
+            codegen_cap: 16,
+            ..Default::default()
+        }
+    } else {
+        CsTunerConfig::default()
+    };
+    Box::new(CsTuner::new(cfg))
+}
+
+fn build_garvey(_quick: bool) -> Box<dyn Tuner> {
+    Box::new(GarveyTuner::default())
+}
+
+fn build_opentuner(_quick: bool) -> Box<dyn Tuner> {
+    Box::new(OpenTunerGa::default())
+}
+
+fn build_artemis(_quick: bool) -> Box<dyn Tuner> {
+    Box::new(ArtemisTuner::default())
+}
+
+fn build_random(_quick: bool) -> Box<dyn Tuner> {
+    Box::new(RandomSearch::default())
+}
+
+fn build_grid(_quick: bool) -> Box<dyn Tuner> {
+    Box::new(GridSearch::default())
+}
+
+fn build_anneal(_quick: bool) -> Box<dyn Tuner> {
+    Box::new(AnnealTuner::default())
+}
+
+fn build_forest(_quick: bool) -> Box<dyn Tuner> {
+    Box::new(ForestTuner::default())
+}
+
+fn opt_opentuner() -> Box<dyn Optimizer> {
+    Box::new(crate::opentuner::GaOptimizer::new(Default::default()))
+}
+
+fn opt_random() -> Box<dyn Optimizer> {
+    Box::new(crate::random::RandomOptimizer::default())
+}
+
+fn opt_grid() -> Box<dyn Optimizer> {
+    let g = GridSearch::default();
+    Box::new(crate::grid::GridOptimizer::new(g.levels, g.pop))
+}
+
+fn opt_anneal() -> Box<dyn Optimizer> {
+    let a = AnnealTuner::default();
+    Box::new(crate::anneal::SaOptimizer::new(a.t0_frac, a.alpha))
+}
+
+fn opt_forest() -> Box<dyn Optimizer> {
+    let f = ForestTuner::default();
+    Box::new(crate::forest::ForestOptimizer::new(f.pop, f.pool_factor, f.min_train))
+}
+
+static TUNERS: [TunerEntry; 8] = [
+    TunerEntry {
+        flag: "cstuner",
+        display: "csTuner",
+        summary: "the paper's pipeline: grouping, PMNF sampling, approximating GA",
+        build: build_cstuner,
+        optimizer: None,
+    },
+    TunerEntry {
+        flag: "garvey",
+        display: "Garvey",
+        summary: "forest memory-type prediction + per-dimension group search",
+        build: build_garvey,
+        optimizer: None,
+    },
+    TunerEntry {
+        flag: "opentuner",
+        display: "OpenTuner",
+        summary: "global GA over the full space (via the ask/tell kernel)",
+        build: build_opentuner,
+        optimizer: Some(opt_opentuner),
+    },
+    TunerEntry {
+        flag: "artemis",
+        display: "Artemis",
+        summary: "hierarchical expert tuning: high-impact first, then greedy",
+        build: build_artemis,
+        optimizer: None,
+    },
+    TunerEntry {
+        flag: "random",
+        display: "Random",
+        summary: "uniform valid sampling, the floor every tuner must beat",
+        build: build_random,
+        optimizer: Some(opt_random),
+    },
+    TunerEntry {
+        flag: "grid",
+        display: "Grid",
+        summary: "deterministic coarse lattice sweep, no rng at all",
+        build: build_grid,
+        optimizer: Some(opt_grid),
+    },
+    TunerEntry {
+        flag: "anneal",
+        display: "Anneal",
+        summary: "single-chain simulated annealing with Metropolis accepts",
+        build: build_anneal,
+        optimizer: Some(opt_anneal),
+    },
+    TunerEntry {
+        flag: "forest",
+        display: "Forest",
+        summary: "online random-forest surrogate pre-ranking candidates",
+        build: build_forest,
+        optimizer: Some(opt_forest),
+    },
+];
+
+/// Every registered tuner, in canonical order (csTuner first, then the
+/// paper baselines, then the kernel-native strategies).
+pub fn tuners() -> &'static [TunerEntry] {
+    &TUNERS
+}
+
+/// Look up a tuner by its canonical flag name.
+pub fn find(flag: &str) -> Option<&'static TunerEntry> {
+    TUNERS.iter().find(|t| t.flag == flag)
+}
+
+/// Build a tuner by flag name (the serve/CLI entry point).
+pub fn build(flag: &str, quick: bool) -> Option<Box<dyn Tuner>> {
+    find(flag).map(|t| t.build(quick))
+}
+
+/// The `a|b|c` flag list used in help and error messages.
+pub fn flag_list() -> String {
+    TUNERS.iter().map(|t| t.flag).collect::<Vec<_>>().join("|")
+}
+
+/// Classic Levenshtein distance, for `did you mean` hints.
+pub fn edit_distance(a: &str, b: &str) -> usize {
+    let (a, b): (Vec<char>, Vec<char>) = (a.chars().collect(), b.chars().collect());
+    let mut row: Vec<usize> = (0..=b.len()).collect();
+    for (i, ca) in a.iter().enumerate() {
+        let mut prev = row[0];
+        row[0] = i + 1;
+        for (j, cb) in b.iter().enumerate() {
+            let cost = if ca == cb { prev } else { prev + 1 };
+            prev = row[j + 1];
+            row[j + 1] = cost.min(prev + 1).min(row[j] + 1);
+        }
+    }
+    row[b.len()]
+}
+
+/// The registered flag nearest to `input` when it is a plausible typo
+/// (edit distance ≤ 2), for `did you mean` hints.
+pub fn did_you_mean(input: &str) -> Option<&'static str> {
+    TUNERS
+        .iter()
+        .map(|t| (edit_distance(input, t.flag), t.flag))
+        .filter(|(d, _)| *d <= 2)
+        .min()
+        .map(|(_, flag)| flag)
+}
+
+/// The full rejection message for an unrecognized tuner name, shared by
+/// the CLI and the serve request validator so both transports reject
+/// identically.
+pub fn unknown_tuner_message(input: &str) -> String {
+    match did_you_mean(input) {
+        Some(near) => {
+            format!("unknown tuner `{input}` ({}); did you mean `{near}`?", flag_list())
+        }
+        None => format!("unknown tuner `{input}` ({})", flag_list()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cst_gpu_sim::GpuArch;
+    use cst_stencil::suite;
+    use cstuner_core::SimEvaluator;
+
+    #[test]
+    fn flags_are_unique_and_lowercase_of_display() {
+        for t in tuners() {
+            assert_eq!(tuners().iter().filter(|o| o.flag == t.flag).count(), 1);
+            // The shootout writes per-tuner journals named by the
+            // lowercased display name; the registry keeps that equal to
+            // the flag so files and `--tuner` values line up.
+            assert_eq!(t.display.to_lowercase(), t.flag, "{}", t.flag);
+        }
+    }
+
+    #[test]
+    fn build_display_matches_entry() {
+        for t in tuners() {
+            assert_eq!(t.build(true).name(), t.display, "{}", t.flag);
+        }
+    }
+
+    #[test]
+    fn optimizer_names_match_entries() {
+        for t in tuners() {
+            if let Some(opt) = t.optimizer() {
+                assert_eq!(opt.name(), t.display, "{}", t.flag);
+            }
+        }
+    }
+
+    #[test]
+    fn every_tuner_completes_a_tiny_run() {
+        for t in tuners() {
+            let mut e = SimEvaluator::with_budget(
+                suite::spec_by_name("j3d7pt").unwrap(),
+                GpuArch::a100(),
+                1,
+                20.0,
+            );
+            let mut tuner = t.build(true);
+            let out = tuner.tune(&mut e, 1).unwrap();
+            assert!(out.best_time_ms.is_finite(), "{}", t.flag);
+        }
+    }
+
+    #[test]
+    fn did_you_mean_catches_typos() {
+        assert_eq!(did_you_mean("anneel"), Some("anneal"));
+        assert_eq!(did_you_mean("cstunr"), Some("cstuner"));
+        assert_eq!(did_you_mean("zzzzzz"), None);
+        assert!(unknown_tuner_message("anneel").contains("did you mean `anneal`?"));
+        assert!(unknown_tuner_message("zzzzzz").contains("grid|anneal|forest"));
+    }
+}

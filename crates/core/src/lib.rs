@@ -26,6 +26,7 @@
 //! the baselines in `cst-baselines`, enabling the paper's iso-iteration
 //! and iso-time comparisons.
 
+pub mod asktell;
 pub mod batch;
 pub mod dataset;
 pub mod evaluator;
@@ -35,6 +36,7 @@ pub mod pipeline;
 pub mod sampling;
 pub mod search;
 
+pub use asktell::{drive, KernelConfig, Observation, Optimizer, Recorder, SearchCtx};
 pub use batch::{BatchEvaluator, BatchStats};
 pub use cst_gpu_sim::{FaultKind, FaultProfile, FaultStats};
 pub use dataset::{DatasetRecord, PerfDataset};

@@ -208,6 +208,65 @@ impl GaState {
         // Evaluate the new generation immediately so callers observe a
         // consistent population after each step.
         self.eval_pending(eval_batch);
+        self.finish_generation();
+    }
+
+    /// Genes of every individual currently lacking a finite fitness, in
+    /// canonical island-major order — exactly the batch the next
+    /// [`GaState::assign_pending`] call must cover. Together with
+    /// [`GaState::breed_generation`] and [`GaState::finish_generation`]
+    /// this is the resumable (ask/tell-style) form of
+    /// [`GaState::step_batched`]: one step is `pending → assign → breed →
+    /// pending → assign → finish`, and an external driver interleaving
+    /// its own bookkeeping between those calls reproduces the closed-loop
+    /// step bit for bit.
+    pub fn pending_genes(&self) -> Vec<Vec<u32>> {
+        self.islands
+            .iter()
+            .flat_map(|isl| isl.pop.iter())
+            .filter(|ind| !ind.fitness.is_finite())
+            .map(|ind| ind.genes.clone())
+            .collect()
+    }
+
+    /// Assign fitnesses to the pending individuals (island-major order,
+    /// lining up with [`GaState::pending_genes`]) and refresh the
+    /// best-so-far over the *whole* population using the serial driver's
+    /// first-encounter tie rule. Call with an empty slice when there is
+    /// nothing pending — the best-so-far refresh still runs, as it does
+    /// on the closed-loop path.
+    ///
+    /// # Panics
+    /// Panics when `fits` does not line up with the pending batch.
+    pub fn assign_pending(&mut self, fits: &[f64]) {
+        let mut fit_iter = fits.iter().copied();
+        for isl in &mut self.islands {
+            for ind in &mut isl.pop {
+                if !ind.fitness.is_finite() {
+                    ind.fitness = fit_iter.next().expect("batch evaluator arity mismatch");
+                    self.evaluations += 1;
+                }
+                match &self.best {
+                    Some(b) if b.fitness >= ind.fitness => {}
+                    _ => self.best = Some(ind.clone()),
+                }
+            }
+        }
+        assert!(fit_iter.next().is_none(), "batch evaluator arity mismatch");
+    }
+
+    /// Breed the next generation (the public split-phase form of the
+    /// middle of [`GaState::step_batched`]). New children carry
+    /// `NEG_INFINITY` fitness, so they appear in the next
+    /// [`GaState::pending_genes`] batch.
+    pub fn breed_generation(&mut self) {
+        self.breed();
+    }
+
+    /// Close out a generation after its post-breed fitness assignment:
+    /// bump the generation counter, run ring migration on schedule, and
+    /// emit the `ga_gen` telemetry record.
+    pub fn finish_generation(&mut self) {
         self.generation += 1;
         // Migrate best individuals around the single ring.
         if self.cfg.n_islands > 1 && self.generation.is_multiple_of(self.cfg.migration_interval) {
@@ -236,28 +295,10 @@ impl GaState {
     /// island-major order) and refresh the best-so-far over the whole
     /// population using the serial driver's first-encounter tie rule.
     fn eval_pending(&mut self, eval_batch: &mut impl FnMut(&[Vec<u32>]) -> Vec<f64>) {
-        let pending: Vec<Vec<u32>> = self
-            .islands
-            .iter()
-            .flat_map(|isl| isl.pop.iter())
-            .filter(|ind| !ind.fitness.is_finite())
-            .map(|ind| ind.genes.clone())
-            .collect();
+        let pending = self.pending_genes();
         let fits = if pending.is_empty() { Vec::new() } else { eval_batch(&pending) };
         assert_eq!(fits.len(), pending.len(), "batch evaluator arity mismatch");
-        let mut fit_iter = fits.into_iter();
-        for isl in &mut self.islands {
-            for ind in &mut isl.pop {
-                if !ind.fitness.is_finite() {
-                    ind.fitness = fit_iter.next().expect("arity checked above");
-                    self.evaluations += 1;
-                }
-                match &self.best {
-                    Some(b) if b.fitness >= ind.fitness => {}
-                    _ => self.best = Some(ind.clone()),
-                }
-            }
-        }
+        self.assign_pending(&fits);
     }
 
     /// Breed the next population island by island: elitism, neighborhood

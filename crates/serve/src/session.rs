@@ -7,18 +7,12 @@
 //! final outcome are bit-identical to the plain CLI run — the serving
 //! layer adds transport, never behavior.
 
-use cst_baselines::{ArtemisTuner, GarveyTuner, OpenTunerGa, RandomSearch};
+use cst_baselines::zoo;
 use cst_gpu_sim::{FaultProfile, FaultStats, GpuArch};
 use cst_space::Setting;
 use cst_stencil::{suite, suite_ext, StencilKernel};
 use cst_telemetry::{Field, FieldValue, Telemetry};
-use cstuner_core::{
-    journal_outcome, CancelToken, CsTuner, CsTunerConfig, SimEvaluator, TuneError, Tuner,
-    TuningOutcome,
-};
-
-/// Canonical tuner flag names accepted by requests.
-pub const TUNERS: [&str; 5] = ["cstuner", "garvey", "opentuner", "artemis", "random"];
+use cstuner_core::{journal_outcome, CancelToken, SimEvaluator, TuneError, Tuner, TuningOutcome};
 
 /// The full stencil suite: the paper's Table III kernels plus the
 /// extension kernels.
@@ -33,29 +27,11 @@ pub fn find_stencil(name: &str) -> Option<StencilKernel> {
     all_stencils().into_iter().find(|k| k.spec.name == name)
 }
 
-/// Build a tuner by its canonical flag name; `quick` selects the
-/// CLI's reduced-scale csTuner configuration.
+/// Build a tuner by its canonical flag name (resolved through the
+/// [`zoo`] registry); `quick` selects the CLI's reduced-scale csTuner
+/// configuration.
 pub fn build_tuner(name: &str, quick: bool) -> Option<Box<dyn Tuner>> {
-    Some(match name {
-        "cstuner" => {
-            let cfg = if quick {
-                CsTunerConfig {
-                    dataset_size: 48,
-                    max_iterations: 15,
-                    codegen_cap: 16,
-                    ..Default::default()
-                }
-            } else {
-                CsTunerConfig::default()
-            };
-            Box::new(CsTuner::new(cfg))
-        }
-        "garvey" => Box::new(GarveyTuner::default()),
-        "opentuner" => Box::new(OpenTunerGa::default()),
-        "artemis" => Box::new(ArtemisTuner::default()),
-        "random" => Box::new(RandomSearch::default()),
-        _ => return None,
-    })
+    zoo::build(name, quick)
 }
 
 /// A request's fault knob. Absent (`None` at the [`TuneRequest`] level)
@@ -92,7 +68,7 @@ pub struct TuneRequest {
     pub stencil: String,
     /// GPU architecture name (validated via [`GpuArch::by_name`]).
     pub arch: String,
-    /// Canonical tuner flag name (one of [`TUNERS`]).
+    /// Canonical tuner flag name (registered in the [`zoo`]).
     pub tuner: String,
     /// Session seed: evaluator rng, tuner rng, fault stream.
     pub seed: u64,
@@ -131,10 +107,8 @@ impl TuneRequest {
             return Err(format!("unknown arch `{arch}` (a100|v100|small)"));
         }
         let tuner = tuner.unwrap_or("cstuner").to_string();
-        if !TUNERS.contains(&tuner.as_str()) {
-            return Err(format!(
-                "unknown tuner `{tuner}` (cstuner|garvey|opentuner|artemis|random)"
-            ));
+        if zoo::find(&tuner).is_none() {
+            return Err(zoo::unknown_tuner_message(&tuner));
         }
         let budget_s = budget_s.unwrap_or(if quick { 30.0 } else { 100.0 });
         if !budget_s.is_finite() || budget_s <= 0.0 {

@@ -155,6 +155,39 @@ pub fn quick_tune_journal(stencil: &str, arch: &GpuArch, opts: &TraceOptions) ->
         .collect()
 }
 
+/// Run any registered tuner through the shared session path
+/// (`cst_serve::run_session`, the exact code behind `cstuner tune` and
+/// a served request) at `--quick` scale with faults explicitly off, and
+/// return the journal with wall-clock fields stripped. The golden
+/// fixtures for the kernel-native tuners (anneal, forest, …) are built
+/// on this, so they pin the *production* path end to end, not a
+/// test-only reconstruction.
+pub fn quick_tuner_journal(
+    tuner: &str,
+    stencil: &str,
+    arch: &str,
+    seed: u64,
+    budget_s: f64,
+) -> Vec<String> {
+    let req = cst_serve::TuneRequest::build(
+        Some(stencil),
+        Some(arch),
+        Some(tuner),
+        Some(seed),
+        Some(budget_s),
+        true,
+        Some(cst_serve::FaultSpec::Off),
+    )
+    .expect("valid request");
+    let tel = cst_telemetry::Telemetry::in_memory();
+    cst_serve::run_session(&req, &tel, None).expect("tuner session failed");
+    tel.lines()
+        .expect("in-memory sink")
+        .iter()
+        .map(|l| cst_telemetry::strip_wall_fields(l))
+        .collect()
+}
+
 fn fixture_path(name: &str) -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fixtures").join(format!("{name}.txt"))
 }

@@ -36,11 +36,12 @@ pub use gen::{
     valid_settings, SettingStrategy,
 };
 pub use golden::{
-    check_golden, hex_bits, preproc_trace, quick_tune_journal, quick_tune_trace, TraceOptions,
+    check_golden, hex_bits, preproc_trace, quick_tune_journal, quick_tune_trace,
+    quick_tuner_journal, TraceOptions,
 };
 pub use loopback::{split_stream, LoopbackServer};
 pub use oracle::{
     batch_vs_serial, fault_run_determinism, journal_transparency, memo_transparency,
-    precomp_vs_direct, zero_fault_transparency,
+    outcomes_bit_equal, precomp_vs_direct, zero_fault_transparency,
 };
 pub use runner::PropRunner;

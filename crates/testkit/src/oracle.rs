@@ -296,6 +296,43 @@ pub fn journal_transparency(
     Ok(())
 }
 
+/// Compare two [`TuningOutcome`](cstuner_core::TuningOutcome)s as bits:
+/// tuner name, best setting, best/search times, evaluation count, the
+/// full convergence curve, the pre-processing breakdown, and fault
+/// counters. The `ga_asktell_oracle` differential test uses this to
+/// prove the GA-through-the-kernel path identical to the legacy
+/// closed-loop driver.
+pub fn outcomes_bit_equal(
+    a: &cstuner_core::TuningOutcome,
+    b: &cstuner_core::TuningOutcome,
+) -> Result<(), String> {
+    if a.tuner != b.tuner {
+        return Err(format!("tuner name diverged: {} vs {}", a.tuner, b.tuner));
+    }
+    if a.best_setting != b.best_setting {
+        return Err(format!(
+            "best setting diverged: {:?} vs {:?}",
+            a.best_setting.0, b.best_setting.0
+        ));
+    }
+    bits_equal("best_ms", &[a.best_time_ms], &[b.best_time_ms])?;
+    bits_equal("search_s", &[a.search_s], &[b.search_s])?;
+    bits_equal(
+        "preproc",
+        &[a.preproc.grouping_s, a.preproc.sampling_s, a.preproc.codegen_s],
+        &[b.preproc.grouping_s, b.preproc.sampling_s, b.preproc.codegen_s],
+    )?;
+    if a.evaluations != b.evaluations {
+        return Err(format!("evaluations diverged: {} vs {}", a.evaluations, b.evaluations));
+    }
+    let (ca, cb): (Vec<f64>, Vec<f64>) = (
+        a.curve.iter().flat_map(|p| [p.iteration as f64, p.elapsed_s, p.best_ms]).collect(),
+        b.curve.iter().flat_map(|p| [p.iteration as f64, p.elapsed_s, p.best_ms]).collect(),
+    );
+    bits_equal("curve", &ca, &cb)?;
+    stats_equal(a.faults, b.faults)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -156,6 +156,48 @@ fn concurrent_sessions_share_the_process_memo() {
 }
 
 #[test]
+fn kernel_tuner_request_streams_and_gates_cleanly() {
+    // A request naming a kernel-native tuner (forest) must stream like
+    // any other: schema-valid journal, byte-identical to the in-process
+    // session path, pinned as a wire fixture, and clean through the
+    // observatory gate.
+    let server = LoopbackServer::start(2, 4);
+    let req = TuneRequest::build(
+        Some("j3d7pt"),
+        None,
+        Some("forest"),
+        Some(2),
+        Some(8.0),
+        true,
+        Some(FaultSpec::Off),
+    )
+    .unwrap();
+    let frames = server.tune(&req);
+    assert!(frames[0].contains("\"type\":\"accepted\""), "{}", frames[0]);
+    let done = frames.last().unwrap();
+    assert!(done.contains("\"type\":\"session_done\""), "{done}");
+    assert!(done.contains("\"state\":\"done\""), "{done}");
+
+    let (journal, _control) = split_stream(&frames);
+    schema::validate_journal(&journal).expect("streamed kernel-tuner journal validates");
+
+    let tel = Telemetry::in_memory();
+    run_session(&req, &tel, None).expect("direct run succeeds");
+    assert_eq!(strip(&journal), strip(&tel.lines().unwrap()), "served != direct");
+
+    check_golden("serve_stream_forest", &(strip(&journal).join("\n") + "\n"));
+
+    // Gates cleanly: the stream summarizes under cst-obs and a run
+    // self-gated against its own summary reports zero drift.
+    let summary = cst_obs::summarize("serve_stream_forest", &journal).expect("summarize");
+    let diff = cst_obs::diff_runs(&summary, &summary);
+    let gate = cst_obs::evaluate_gate(&diff, &cst_obs::DriftPolicy::default());
+    assert_eq!(gate.exit_code(), 0, "kernel-tuner journal must self-gate clean");
+
+    server.shutdown();
+}
+
+#[test]
 fn overload_gets_a_clean_busy_rejection() {
     // Paused workers: both admitted sessions stay queued, so the third
     // request sees a deterministic load snapshot worth pinning.

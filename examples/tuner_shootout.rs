@@ -1,8 +1,8 @@
-//! Head-to-head: csTuner against the paper's baselines on one stencil.
+//! Head-to-head: csTuner against every registered tuner on one stencil.
 //!
-//! A minimal version of the §V-C iso-time comparison: every tuner gets the
-//! same 100-second virtual budget on the same simulated A100, repeated
-//! over a few seeds.
+//! A minimal version of the §V-C iso-time comparison: every tuner in the
+//! zoo gets the same 100-second virtual budget on the same simulated
+//! A100, repeated over a few seeds.
 //!
 //! ```text
 //! cargo run --release --example tuner_shootout [stencil] [budget_s]
@@ -33,13 +33,8 @@ fn main() {
     );
     println!("{:<11} {:>10} {:>10} {:>8}", "tuner", "mean ms", "worst ms", "evals");
 
-    let mut tuners: Vec<Box<dyn Tuner>> = vec![
-        Box::new(CsTuner::new(CsTunerConfig::default())),
-        Box::new(GarveyTuner::default()),
-        Box::new(OpenTunerGa::default()),
-        Box::new(ArtemisTuner::default()),
-        Box::new(RandomSearch::default()),
-    ];
+    let mut tuners: Vec<Box<dyn Tuner>> =
+        cstuner::baselines::zoo::tuners().iter().map(|t| t.build(false)).collect();
     let journal_dir = std::env::var("CST_JOURNAL").ok().filter(|d| !d.is_empty());
     for tuner in tuners.iter_mut() {
         let mut total = 0.0;

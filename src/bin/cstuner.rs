@@ -4,7 +4,7 @@
 //! cstuner list                                   # available stencils & GPUs
 //! cstuner version                                # crate + journal schema versions
 //! cstuner tune  --stencil cheby [--arch a100] [--budget 100] [--seed 0]
-//!               [--tuner cstuner|garvey|opentuner|artemis|random]
+//!               [--tuner cstuner|garvey|opentuner|artemis|random|grid|anneal|forest]
 //!               [--quick] [--journal run.jsonl] [--fault-off]
 //! cstuner codegen --stencil cheby [--arch a100] [--budget 60] [--out k.cu]
 //! cstuner report run.jsonl [--json]              # render a run journal
@@ -33,6 +33,7 @@
 //! local `tune --journal` would write. Invoking `cstuner --quick ...`
 //! with no subcommand is shorthand for `cstuner tune --quick ...`.
 
+use cstuner::baselines::zoo::edit_distance;
 use cstuner::obs::{self, DriftPolicy, JournalStore};
 use cstuner::prelude::*;
 use cstuner::serve::{proto, Connection, ServeConfig, Server};
@@ -70,22 +71,6 @@ fn parse_args(args: &[String]) -> (HashMap<String, String>, Vec<String>) {
         }
     }
     (flags, positionals)
-}
-
-/// Classic Levenshtein distance, for `did you mean` hints.
-fn edit_distance(a: &str, b: &str) -> usize {
-    let (a, b): (Vec<char>, Vec<char>) = (a.chars().collect(), b.chars().collect());
-    let mut row: Vec<usize> = (0..=b.len()).collect();
-    for (i, ca) in a.iter().enumerate() {
-        let mut prev = row[0];
-        row[0] = i + 1;
-        for (j, cb) in b.iter().enumerate() {
-            let cost = if ca == cb { prev } else { prev + 1 };
-            prev = row[j + 1];
-            row[j + 1] = cost.min(prev + 1).min(row[j] + 1);
-        }
-    }
-    row[b.len()]
 }
 
 /// Reject flags outside `allowed` with exit 2 and, when a flag is a
@@ -168,7 +153,11 @@ fn cmd_list() {
         );
     }
     println!("GPUs: a100, v100, small");
-    println!("Tuners: cstuner (default), garvey, opentuner, artemis, random");
+    println!("Tuners:");
+    for t in cstuner::baselines::zoo::tuners() {
+        let default = if t.flag == "cstuner" { " (default)" } else { "" };
+        println!("  {:9} {}{default}", t.flag, t.summary);
+    }
 }
 
 /// Journal sink from `--journal PATH` or the `CST_JOURNAL` env var; the
@@ -607,6 +596,7 @@ fn cmd_version() {
         env!("CARGO_PKG_VERSION"),
         cstuner::telemetry::SCHEMA_VERSION
     );
+    println!("tuners: {}", cstuner::baselines::zoo::flag_list());
 }
 
 fn main() {

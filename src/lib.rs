@@ -53,8 +53,11 @@ pub use cstuner_core as core;
 
 /// Convenient single-import surface for applications.
 pub mod prelude {
-    pub use crate::baselines::{ArtemisTuner, GarveyTuner, OpenTunerGa, RandomSearch};
+    pub use crate::baselines::{
+        AnnealTuner, ArtemisTuner, ForestTuner, GarveyTuner, GridSearch, OpenTunerGa, RandomSearch,
+    };
     pub use crate::codegen::generate_cuda;
+    pub use crate::core::{drive, KernelConfig, Observation, Optimizer, SearchCtx};
     pub use crate::core::{CsTuner, CsTunerConfig, Evaluator, SimEvaluator, Tuner, TuningOutcome};
     pub use crate::ga::{GaConfig, IslandGa};
     pub use crate::sim::{GpuArch, GpuSim, MetricsReport};

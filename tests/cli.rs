@@ -10,16 +10,25 @@ fn cstuner(args: &[&str]) -> std::process::Output {
 }
 
 #[test]
-fn version_prints_crate_and_journal_schema_versions() {
+fn version_prints_crate_schema_and_registered_tuners() {
     let expected = format!(
-        "cstuner {} (journal schema v{})\n",
+        "cstuner {} (journal schema v{})\ntuners: {}\n",
         env!("CARGO_PKG_VERSION"),
-        cstuner::telemetry::SCHEMA_VERSION
+        cstuner::telemetry::SCHEMA_VERSION,
+        cstuner::baselines::zoo::flag_list(),
     );
     for spelling in ["version", "--version"] {
         let out = cstuner(&[spelling]);
         assert!(out.status.success(), "`cstuner {spelling}` failed");
         assert_eq!(String::from_utf8_lossy(&out.stdout), expected);
+    }
+    // The registry must name every tuner the zoo ships, new ones included.
+    for flag in ["cstuner", "garvey", "opentuner", "artemis", "random", "grid", "anneal", "forest"]
+    {
+        assert!(
+            cstuner::baselines::zoo::flag_list().split('|').any(|f| f == flag),
+            "missing {flag}"
+        );
     }
 }
 
@@ -54,6 +63,23 @@ fn client_flags_are_validated_before_connecting() {
     assert_eq!(out.status.code(), Some(2));
     let err = String::from_utf8_lossy(&out.stderr);
     assert!(err.contains("did you mean `--addr`?"), "{err}");
+}
+
+#[test]
+fn unknown_tuner_names_are_rejected_with_a_did_you_mean_hint() {
+    let out = cstuner(&["tune", "--quick", "--tuner", "anneel"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown tuner `anneel`"), "{err}");
+    assert!(err.contains("did you mean `anneal`?"), "{err}");
+
+    // No near-miss: list the registered names instead of guessing.
+    let out = cstuner(&["tune", "--quick", "--tuner", "bayesopt9000"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown tuner `bayesopt9000`"), "{err}");
+    assert!(err.contains("cstuner|garvey|opentuner|artemis|random|grid|anneal|forest"), "{err}");
+    assert!(!err.contains("did you mean"), "{err}");
 }
 
 #[test]
