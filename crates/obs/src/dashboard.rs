@@ -112,10 +112,27 @@ pub fn render_dashboard(summaries: &[RunSummary]) -> String {
     out
 }
 
+/// Machine-readable dashboard: the run count plus every summary in its
+/// canonical archive form (same float writer, same fixed key order as
+/// the `*.summary.json` files), byte-deterministic for fixed inputs.
+pub fn dashboard_json(summaries: &[RunSummary]) -> String {
+    let mut o = String::with_capacity(256);
+    let _ = write!(o, "{{\"runs\":{},\"summaries\":[", summaries.len());
+    for (i, s) in summaries.iter().enumerate() {
+        if i > 0 {
+            o.push(',');
+        }
+        o.push_str(&s.to_json());
+    }
+    o.push_str("]}");
+    o
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::summary::{HistSummary, Milestone, StageCost, SUMMARY_VERSION};
+    use cst_telemetry::json;
 
     fn summary(source: &str, best_ms: f64) -> RunSummary {
         RunSummary {
@@ -181,5 +198,19 @@ mod tests {
     fn dashboard_is_deterministic() {
         let runs = [summary("a", 1.0), summary("b", 2.0)];
         assert_eq!(render_dashboard(&runs), render_dashboard(&runs));
+    }
+
+    #[test]
+    fn dashboard_json_embeds_canonical_summaries() {
+        let runs = [summary("a", 1.0), summary("b", 2.0)];
+        let j = dashboard_json(&runs);
+        assert_eq!(j, dashboard_json(&runs));
+        let v = json::parse(&j).unwrap();
+        assert_eq!(v.get("runs").and_then(json::Value::as_u64), Some(2));
+        assert_eq!(v.get("summaries").unwrap().as_arr().unwrap().len(), 2);
+        // Entries are the canonical archive form, verbatim.
+        assert!(j.contains(&runs[0].to_json()), "{j}");
+        assert!(j.contains(&runs[1].to_json()), "{j}");
+        assert_eq!(dashboard_json(&[]), "{\"runs\":0,\"summaries\":[]}");
     }
 }

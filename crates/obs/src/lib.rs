@@ -32,7 +32,7 @@ pub mod drift;
 pub mod store;
 pub mod summary;
 
-pub use dashboard::render_dashboard;
+pub use dashboard::{dashboard_json, render_dashboard};
 pub use diff::{diff_groups, diff_runs, render_diff, Direction, MetricDelta, RunDiff};
 pub use drift::{
     evaluate_gate, render_gate_dashboard, verdict_json, DriftClass, DriftPolicy, GateReport,

@@ -12,7 +12,11 @@
 //! cstuner obs ingest J.jsonl... [--store DIR] [--name N]   # archive runs
 //! cstuner obs diff BASE CAND                     # compare two runs
 //! cstuner obs gate BASE CAND [--save FILE]       # drift gate (exit 1 on regress)
-//! cstuner obs dashboard [--store DIR]            # whole-archive table
+//! cstuner obs dashboard [--store DIR] [--json]   # whole-archive table
+//! cstuner campaign run <spec.json> [--store DIR] [--addr HOST:PORT] [--fresh] [--json]
+//! cstuner campaign status <spec.json> [--store DIR]
+//! cstuner campaign report <spec.json> [--store DIR] [--json] [--save FILE]
+//! cstuner campaign gate <spec.json> --baseline DIR [--store DIR] [--save FILE]
 //! cstuner serve [--addr HOST:PORT] [--workers N] [--queue N] [--archive DIR] [--memo-cap N]
 //! cstuner client tune   [--addr HOST:PORT] [tune flags]     # tune via a daemon
 //! cstuner client status --session N [--addr HOST:PORT]
@@ -28,12 +32,17 @@
 //! observatory: `ingest` archives journals as versioned summaries under a
 //! store directory (`results/obs` by default), `diff`/`gate`/`dashboard`
 //! compare them (each run argument may be a `*.summary.json` or a raw
-//! journal). `serve` starts the tuning-as-a-service daemon and `client`
+//! journal). The `campaign` family expands a declarative spec (stencil ×
+//! arch × tuner × budget × seed matrix) into cells, runs them — locally
+//! in parallel or via a daemon — into a campaign-scoped archive with
+//! resume-on-rerun, and reports/gates the aggregate.
+//! `serve` starts the tuning-as-a-service daemon and `client`
 //! talks to one: a served `client tune` streams the exact journal a
 //! local `tune --journal` would write. Invoking `cstuner --quick ...`
 //! with no subcommand is shorthand for `cstuner tune --quick ...`.
 
 use cstuner::baselines::zoo::edit_distance;
+use cstuner::campaign;
 use cstuner::obs::{self, DriftPolicy, JournalStore};
 use cstuner::prelude::*;
 use cstuner::serve::{proto, Connection, ServeConfig, Server};
@@ -238,7 +247,7 @@ fn obs_usage() -> ! {
          obs ingest <journal.jsonl>... [--store DIR] [--name NAME]   archive runs as summaries\n  \
          obs diff <baseline> <candidate>                             compare two runs\n  \
          obs gate <baseline> <candidate> [--save FILE]               drift gate (exit 1 on regress)\n  \
-         obs dashboard [--store DIR] [--save FILE]                   whole-archive table\n\
+         obs dashboard [--store DIR] [--save FILE] [--json]          whole-archive table\n\
          run arguments accept a *.summary.json or a raw JSONL journal; \
          the store defaults to results/obs"
     );
@@ -314,7 +323,7 @@ fn cmd_obs(args: &[String]) {
             std::process::exit(gate.exit_code());
         }
         "dashboard" => {
-            check_flags("obs dashboard", &flags, &["store", "save"]);
+            check_flags("obs dashboard", &flags, &["store", "save", "json"]);
             let store = JournalStore::open(Path::new(&store_dir)).unwrap_or_else(|e| {
                 eprintln!("{e}");
                 std::process::exit(2);
@@ -323,7 +332,11 @@ fn cmd_obs(args: &[String]) {
                 eprintln!("{e}");
                 std::process::exit(1);
             });
-            let text = obs::render_dashboard(&summaries);
+            let text = if flags.contains_key("json") {
+                obs::dashboard_json(&summaries) + "\n"
+            } else {
+                obs::render_dashboard(&summaries)
+            };
             print!("{text}");
             if let Some(path) = flags.get("save").filter(|p| !p.is_empty()) {
                 std::fs::write(path, &text).unwrap_or_else(|e| {
@@ -333,6 +346,175 @@ fn cmd_obs(args: &[String]) {
             }
         }
         _ => obs_usage(),
+    }
+}
+
+fn campaign_usage() -> ! {
+    eprintln!(
+        "usage: cstuner campaign <command> <spec.json>\n  \
+         campaign run <spec.json> [--store DIR] [--addr HOST:PORT] [--fresh] [--json]\n      \
+           run (or resume) the matrix; --addr fans cells to a cst-serve daemon,\n      \
+           --fresh drops this spec's archived cells first\n  \
+         campaign status <spec.json> [--store DIR]       archived vs pending cells\n  \
+         campaign report <spec.json> [--store DIR] [--json] [--save FILE]\n      \
+           comparative dashboard over the archived matrix\n  \
+         campaign gate <spec.json> --baseline DIR [--store DIR] [--save FILE]\n      \
+           significance-aware verdict vs a baseline campaign store (exit 1 on regress)\n\
+         the store defaults to results/campaign/<name>"
+    );
+    std::process::exit(2);
+}
+
+/// Read and validate the spec named by the first positional (exit 2).
+fn campaign_spec(positionals: &[String]) -> campaign::CampaignSpec {
+    let Some(path) = positionals.first() else { campaign_usage() };
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read `{path}`: {e}");
+        std::process::exit(2);
+    });
+    campaign::CampaignSpec::from_json(&text).unwrap_or_else(|e| {
+        eprintln!("invalid campaign spec `{path}`: {e}");
+        std::process::exit(2);
+    })
+}
+
+/// The campaign-scoped archive: `--store DIR` or `results/campaign/<name>`.
+fn campaign_store(flags: &HashMap<String, String>, spec: &campaign::CampaignSpec) -> JournalStore {
+    let dir = flags
+        .get("store")
+        .filter(|d| !d.is_empty())
+        .cloned()
+        .unwrap_or_else(|| format!("results/campaign/{}", spec.name));
+    JournalStore::open(Path::new(&dir)).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    })
+}
+
+/// Load the archived matrix for reporting (exit 1 on a broken store).
+fn campaign_load(
+    spec: &campaign::CampaignSpec,
+    store: &JournalStore,
+) -> (Vec<(campaign::Cell, obs::RunSummary)>, Vec<campaign::Cell>) {
+    campaign::load_cells(spec, store).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(1);
+    })
+}
+
+/// The `cstuner campaign` family: run/resume a declarative matrix,
+/// inspect its archive, and gate it against a baseline campaign.
+fn cmd_campaign(args: &[String]) {
+    let sub = args.first().map(String::as_str).unwrap_or("");
+    let (flags, positionals) = parse_args(&args[1.min(args.len())..]);
+    match sub {
+        "run" => {
+            check_flags("campaign run", &flags, &["store", "addr", "fresh", "json"]);
+            let spec = campaign_spec(&positionals);
+            let store = campaign_store(&flags, &spec);
+            if flags.contains_key("fresh") {
+                let removed = campaign::forget_cells(&spec, &store).unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    std::process::exit(1);
+                });
+                eprintln!("dropped {removed} archived cells");
+            }
+            let backend = match flags.get("addr").filter(|a| !a.is_empty()) {
+                Some(addr) => campaign::Backend::Daemon(addr.clone()),
+                None => campaign::Backend::InProcess,
+            };
+            let opts = campaign::ExecOptions { backend, stop_after: None };
+            let run = campaign::run_campaign(&spec, &store, &opts, &mut |i, total, cell, state| {
+                let what = match state {
+                    campaign::CellState::Cached => "cached",
+                    campaign::CellState::Ran => "done",
+                };
+                eprintln!("  [{i}/{total}] {} {what}", cell.name());
+            })
+            .unwrap_or_else(|e| {
+                eprintln!("{e}");
+                std::process::exit(1);
+            });
+            println!(
+                "campaign {}: {} executed, {} cached ({} cells) -> {}",
+                spec.name,
+                run.executed,
+                run.cached,
+                run.cells.len(),
+                store.dir().display()
+            );
+            let (have, missing) = campaign_load(&spec, &store);
+            let stats = campaign::aggregate(&have);
+            if flags.contains_key("json") {
+                println!("{}", campaign::campaign_json(&spec.name, &stats, &missing));
+            } else {
+                print!("{}", campaign::render_campaign(&spec.name, &stats, &missing));
+            }
+        }
+        "status" => {
+            check_flags("campaign status", &flags, &["store"]);
+            let spec = campaign_spec(&positionals);
+            let store = campaign_store(&flags, &spec);
+            let (have, missing) = campaign_load(&spec, &store);
+            println!(
+                "campaign {}: {}/{} cells archived in {}",
+                spec.name,
+                have.len(),
+                have.len() + missing.len(),
+                store.dir().display()
+            );
+            for cell in &missing {
+                println!("  pending {}", cell.name());
+            }
+        }
+        "report" => {
+            check_flags("campaign report", &flags, &["store", "json", "save"]);
+            let spec = campaign_spec(&positionals);
+            let store = campaign_store(&flags, &spec);
+            let (have, missing) = campaign_load(&spec, &store);
+            let stats = campaign::aggregate(&have);
+            let text = if flags.contains_key("json") {
+                campaign::campaign_json(&spec.name, &stats, &missing) + "\n"
+            } else {
+                campaign::render_campaign(&spec.name, &stats, &missing)
+            };
+            print!("{text}");
+            if let Some(path) = flags.get("save").filter(|p| !p.is_empty()) {
+                std::fs::write(path, &text).unwrap_or_else(|e| {
+                    eprintln!("cannot write `{path}`: {e}");
+                    std::process::exit(2);
+                });
+            }
+        }
+        "gate" => {
+            check_flags("campaign gate", &flags, &["store", "baseline", "save"]);
+            let spec = campaign_spec(&positionals);
+            let Some(baseline_dir) = flags.get("baseline").filter(|d| !d.is_empty()) else {
+                eprintln!("--baseline is required: a campaign store directory to gate against");
+                std::process::exit(2);
+            };
+            let store = campaign_store(&flags, &spec);
+            let baseline_store = JournalStore::open(Path::new(baseline_dir)).unwrap_or_else(|e| {
+                eprintln!("{e}");
+                std::process::exit(2);
+            });
+            let (baseline, _) = campaign_load(&spec, &baseline_store);
+            let (candidate, _) = campaign_load(&spec, &store);
+            let policy = DriftPolicy::default();
+            let gate = campaign::gate_campaign(&baseline, &candidate, &policy);
+            let dashboard = campaign::render_campaign_gate(&gate, &policy);
+            print!("{dashboard}");
+            println!("{}", campaign::campaign_verdict_json(&gate));
+            if let Some(path) = flags.get("save").filter(|p| !p.is_empty()) {
+                let saved = format!("{dashboard}{}\n", campaign::campaign_verdict_json(&gate));
+                std::fs::write(path, saved).unwrap_or_else(|e| {
+                    eprintln!("cannot write `{path}`: {e}");
+                    std::process::exit(2);
+                });
+            }
+            std::process::exit(gate.exit_code());
+        }
+        _ => campaign_usage(),
     }
 }
 
@@ -675,11 +857,12 @@ fn main() {
             }
         }
         "obs" => cmd_obs(rest),
+        "campaign" => cmd_campaign(rest),
         "serve" => cmd_serve(&flags),
         "client" => cmd_client(rest),
         _ => {
             eprintln!(
-                "usage: cstuner <list|version|tune|codegen|report|journal-check|obs|serve|client> \
+                "usage: cstuner <list|version|tune|codegen|report|journal-check|obs|campaign|serve|client> \
                  [--stencil S] [--arch a100|v100] [--budget SECONDS] [--seed N] [--tuner T] \
                  [--quick] [--journal FILE] [--out FILE] [--addr HOST:PORT]"
             );

@@ -18,6 +18,9 @@
 //! - [`baselines`] — Garvey / OpenTuner-style / Artemis-style tuners.
 //! - [`obs`] — cross-run regression observatory: journal archive,
 //!   run-diff engine, drift detection, and the CI perf gate.
+//! - [`campaign`] — declarative benchmarking campaigns: stencil × arch ×
+//!   tuner × seed matrices with resumable fan-out, comparative dashboards
+//!   and significance-aware verdicts.
 //!
 //! ## Quickstart
 //!
@@ -39,6 +42,7 @@
 //! ```
 
 pub use cst_baselines as baselines;
+pub use cst_campaign as campaign;
 pub use cst_codegen as codegen;
 pub use cst_ga as ga;
 pub use cst_gpu_sim as sim;

@@ -89,3 +89,48 @@ fn malformed_numeric_flags_are_rejected() {
     let err = String::from_utf8_lossy(&out.stderr);
     assert!(err.contains("--seed expects a non-negative integer"), "{err}");
 }
+
+#[test]
+fn campaign_flags_are_validated_before_anything_runs() {
+    let out = cstuner(&["campaign", "run", "/tmp/nonexistent-spec.json", "--stor", "/tmp/x"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown flag `--stor` for `cstuner campaign run`"), "{err}");
+    assert!(err.contains("did you mean `--store`?"), "{err}");
+
+    // `campaign gate` refuses to guess a baseline.
+    let out = cstuner(&["campaign", "gate", "/tmp/nonexistent-spec.json"]);
+    assert_eq!(out.status.code(), Some(2));
+
+    // No subcommand: usage with exit 2.
+    let out = cstuner(&["campaign"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("usage: cstuner campaign"), "{err}");
+}
+
+#[test]
+fn bad_campaign_specs_are_one_line_exit_2_errors() {
+    let dir = std::env::temp_dir().join(format!("cst_cli_campaign_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let spec = dir.join("bad.json");
+    std::fs::write(&spec, r#"{"campaign":"x","stencil":["j3d7pt"]}"#).unwrap();
+    let out = cstuner(&["campaign", "status", spec.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("invalid campaign spec"), "{err}");
+    assert!(err.contains("unknown key `stencil`"), "{err}");
+    assert!(err.contains("did you mean `stencils`?"), "{err}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn obs_dashboard_json_is_machine_readable() {
+    // An empty store renders the canonical empty document.
+    let dir = std::env::temp_dir().join(format!("cst_cli_obs_json_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let out = cstuner(&["obs", "dashboard", "--store", dir.to_str().unwrap(), "--json"]);
+    assert!(out.status.success());
+    assert_eq!(String::from_utf8_lossy(&out.stdout), "{\"runs\":0,\"summaries\":[]}\n");
+    let _ = std::fs::remove_dir_all(&dir);
+}
