@@ -26,8 +26,14 @@ use cst_stencil::{StencilClass, StencilShape, StencilSpec};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
 
+struct SharedEntry {
+    stencil: &'static str,
+    arch: &'static str,
+    memo: Arc<SimMemo>,
+}
+
 struct Registry {
-    memos: HashMap<(u64, u64), Arc<SimMemo>>,
+    memos: HashMap<(u64, u64), SharedEntry>,
     cap: usize,
 }
 
@@ -119,7 +125,16 @@ pub fn shared_memo(spec: &StencilSpec, arch: &GpuArch) -> Arc<SimMemo> {
     let key = (spec_key(spec), arch_key(arch));
     let mut reg = registry().lock().unwrap();
     let cap = reg.cap;
-    reg.memos.entry(key).or_insert_with(|| Arc::new(SimMemo::with_cap(cap))).clone()
+    Arc::clone(
+        &reg.memos
+            .entry(key)
+            .or_insert_with(|| SharedEntry {
+                stencil: spec.name,
+                arch: arch.name,
+                memo: Arc::new(SimMemo::with_cap(cap)),
+            })
+            .memo,
+    )
 }
 
 /// Set the per-memo entry cap (0 = unbounded) for every existing and
@@ -127,9 +142,57 @@ pub fn shared_memo(spec: &StencilSpec, arch: &GpuArch) -> Arc<SimMemo> {
 pub fn set_shared_memo_cap(cap: usize) {
     let mut reg = registry().lock().unwrap();
     reg.cap = cap;
-    for memo in reg.memos.values() {
-        memo.set_cap(cap);
+    for entry in reg.memos.values() {
+        entry.memo.set_cap(cap);
     }
+}
+
+/// Observability snapshot of one shared memo: the display names of its
+/// (stencil, arch) pair plus cache traffic counters and occupancy.
+/// Counters are relaxed atomics maintained off the serial commit path —
+/// live metrics only, never an input to any tuning decision.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SharedMemoStats {
+    /// Stencil display name (`StencilSpec::name`).
+    pub stencil: String,
+    /// Architecture display name (`GpuArch::name`).
+    pub arch: String,
+    /// Memo lookups served from cache.
+    pub hits: u64,
+    /// Memo lookups that required a fresh model evaluation.
+    pub misses: u64,
+    /// Entries dropped to honour the cap.
+    pub evictions: u64,
+    /// Records currently cached.
+    pub entries: usize,
+    /// Entry cap (0 = unbounded).
+    pub cap: usize,
+}
+
+/// Per-pair stats for every shared memo in the process, sorted by
+/// (stencil, arch) display names so the listing is stable. Distinct
+/// content hashes that share display names (e.g. a tweaked spec under
+/// the same name) appear as separate rows.
+pub fn shared_memo_stats() -> Vec<SharedMemoStats> {
+    let reg = registry().lock().unwrap();
+    let mut out: Vec<SharedMemoStats> = reg
+        .memos
+        .values()
+        .map(|e| {
+            let s = e.memo.stats();
+            SharedMemoStats {
+                stencil: e.stencil.to_string(),
+                arch: e.arch.to_string(),
+                hits: s.hits,
+                misses: s.misses,
+                evictions: s.evictions,
+                entries: e.memo.len(),
+                cap: e.memo.cap(),
+            }
+        })
+        .collect();
+    out.sort_by(|a, b| (&a.stencil, &a.arch).cmp(&(&b.stencil, &b.arch)));
+    out
 }
 
 /// Number of distinct (stencil, arch) pairs with a shared memo.
@@ -153,6 +216,23 @@ mod tests {
         assert!(Arc::ptr_eq(&a, &b), "same pair must share");
         assert!(!Arc::ptr_eq(&a, &c), "different stencil must not share");
         assert!(shared_memo_count() >= 2);
+    }
+
+    #[test]
+    fn stats_listing_is_named_and_sorted() {
+        let spec = cst_stencil::spec_by_name("hypterm").unwrap();
+        let memo = shared_memo(&spec, &GpuArch::small());
+        let _miss = memo.get(&cst_space::Setting::baseline());
+        let stats = shared_memo_stats();
+        let row = stats
+            .iter()
+            .find(|s| s.stencil == "hypterm" && s.arch == GpuArch::small().name)
+            .expect("hypterm row present");
+        assert!(row.misses >= 1, "recorded miss visible: {row:?}");
+        let names: Vec<_> = stats.iter().map(|s| (s.stencil.clone(), s.arch.clone())).collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted, "listing sorted by (stencil, arch)");
     }
 
     #[test]

@@ -25,10 +25,14 @@
 //!   `cstuner obs gate`, CI's cross-commit performance gate.
 //! - [`dashboard`] renders N summaries side by side for eyeballing a
 //!   whole archive at once.
+//! - [`profile`] folds a journal's span records into a deterministic
+//!   self/total/calls profile per call path — text tree, versioned JSON,
+//!   collapsed-stack output and direction-tagged profile diffs.
 
 pub mod dashboard;
 pub mod diff;
 pub mod drift;
+pub mod profile;
 pub mod store;
 pub mod summary;
 
@@ -36,6 +40,10 @@ pub use dashboard::{dashboard_json, render_dashboard};
 pub use diff::{diff_groups, diff_runs, render_diff, Direction, MetricDelta, RunDiff};
 pub use drift::{
     evaluate_gate, render_gate_dashboard, verdict_json, DriftClass, DriftPolicy, GateReport,
+};
+pub use profile::{
+    diff_profiles, profile_journal, profile_json, profile_summary, render_fold, render_profile,
+    render_profile_diff, Profile, ProfileRow, PROFILE_VERSION,
 };
 pub use store::{load_run, JournalStore};
 pub use summary::{summarize, HistSummary, Milestone, RunSummary, MILESTONE_PCTS, SUMMARY_VERSION};

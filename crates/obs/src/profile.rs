@@ -1,0 +1,483 @@
+//! Span-profile analyzer: fold a journal's span records into a
+//! deterministic self-time / total-time / call-count profile.
+//!
+//! The run journal brackets every pipeline stage with `span_start` /
+//! `span_end` records on the virtual clock. [`profile_journal`] replays
+//! those records against a span stack, aggregating by **call path** (the
+//! stack of enclosing span names), so nested and repeated spans fold into
+//! one row per distinct path with summed virtual cost, the portion not
+//! attributed to child spans (self time), and a call count. Histogram
+//! digests from the journal's `counters` record ride along with p50/p95
+//! estimates, giving the profile a latency-distribution column where the
+//! journal recorded one.
+//!
+//! Everything here is a pure function of the journal's deterministic
+//! core: wall-clock fields are never read, rows keep first-completion
+//! order, and floats go through the canonical JSON writer — profiling
+//! the same journal twice yields byte-identical text, JSON and folded
+//! output. [`diff_profiles`] compares two profiles path-by-path with the
+//! diff engine's [`MetricDelta`] conventions (`delta = candidate −
+//! baseline`, direction-tagged markers), and [`render_fold`] emits
+//! collapsed-stack lines (`path;to;span <self_µs>`) for flamegraph
+//! tooling.
+
+use crate::diff::{Direction, MetricDelta};
+use crate::summary::{summarize, HistSummary, RunSummary};
+use cst_telemetry::json;
+use std::fmt::Write as _;
+
+/// Version stamped into `profile_json` output. Bump when a field is
+/// removed, renamed, or changes meaning.
+pub const PROFILE_VERSION: u64 = 1;
+
+/// One aggregated call path: every completion of a span whose enclosing
+/// span stack spelled the same sequence of names.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileRow {
+    /// Call path from the outermost enclosing span to this one.
+    pub path: Vec<String>,
+    /// Completions folded into this row.
+    pub calls: u64,
+    /// Summed virtual cost (seconds), children included.
+    pub total_s: f64,
+    /// Summed virtual cost minus the cost attributed to child spans.
+    pub self_s: f64,
+}
+
+impl ProfileRow {
+    /// Span name (last path element).
+    pub fn name(&self) -> &str {
+        self.path.last().map(String::as_str).unwrap_or("?")
+    }
+
+    /// Nesting depth (0 for root spans).
+    pub fn depth(&self) -> usize {
+        self.path.len().saturating_sub(1)
+    }
+
+    /// The path joined with `;` — the row's stable identity, and the
+    /// stack syntax of the collapsed-stack output.
+    pub fn key(&self) -> String {
+        self.path.join(";")
+    }
+}
+
+/// A folded span profile of one run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Profile {
+    /// Where the profile came from (file stem or ingest label).
+    pub source: String,
+    /// Aggregated rows in first-completion order.
+    pub rows: Vec<ProfileRow>,
+    /// Histogram condensates from the journal's `counters` record.
+    pub hists: Vec<HistSummary>,
+}
+
+impl Profile {
+    /// Summed virtual cost of root spans — the profile's 100% mark.
+    pub fn total_s(&self) -> f64 {
+        self.rows.iter().filter(|r| r.depth() == 0).map(|r| r.total_s).sum()
+    }
+
+    /// Look up a row by its `;`-joined path.
+    pub fn row(&self, key: &str) -> Option<&ProfileRow> {
+        self.rows.iter().find(|r| r.key() == key)
+    }
+}
+
+/// One open span on the replay stack.
+struct OpenSpan {
+    name: String,
+    start_v_s: f64,
+    child_cost_s: f64,
+}
+
+/// Fold a journal (one JSON record per line, wall fields tolerated and
+/// ignored) into a [`Profile`]. The journal is schema-validated first; a
+/// malformed journal is an error, not a half-filled profile.
+///
+/// Robustness rules, all deterministic: a `span_end` with no matching
+/// open span folds as a root-level path of its own name; open spans left
+/// at end-of-journal are closed LIFO at the journal's final `v_s`, their
+/// cost the clock distance since their start.
+pub fn profile_journal(source: &str, lines: &[String]) -> Result<Profile, String> {
+    let summary = summarize(source, lines)?;
+    let records: Vec<json::Value> =
+        lines.iter().map(|l| json::parse(l).expect("validated")).collect();
+
+    let mut rows: Vec<ProfileRow> = Vec::new();
+    let mut open: Vec<OpenSpan> = Vec::new();
+    let mut fold = |open: &mut Vec<OpenSpan>, span: OpenSpan, cost_s: f64| {
+        let self_s = cost_s - span.child_cost_s;
+        if let Some(parent) = open.last_mut() {
+            parent.child_cost_s += cost_s;
+        }
+        let mut path: Vec<String> = open.iter().map(|o| o.name.clone()).collect();
+        path.push(span.name);
+        match rows.iter_mut().find(|r| r.path == path) {
+            Some(r) => {
+                r.calls += 1;
+                r.total_s += cost_s;
+                r.self_s += self_s;
+            }
+            None => rows.push(ProfileRow { path, calls: 1, total_s: cost_s, self_s }),
+        }
+    };
+
+    let mut final_v_s = 0.0;
+    for rec in &records {
+        let ty = rec.get("type").and_then(json::Value::as_str).unwrap_or("");
+        if let Some(v) = rec.get("v_s").and_then(json::Value::as_f64) {
+            final_v_s = v;
+        }
+        match ty {
+            "span_start" => {
+                let name = rec.get("name").and_then(json::Value::as_str).unwrap_or("?");
+                let v_s = rec.get("v_s").and_then(json::Value::as_f64).unwrap_or(0.0);
+                open.push(OpenSpan { name: name.to_string(), start_v_s: v_s, child_cost_s: 0.0 });
+            }
+            "span_end" => {
+                let name = rec.get("name").and_then(json::Value::as_str).unwrap_or("?");
+                let cost = rec.get("v_cost_s").and_then(json::Value::as_f64).unwrap_or(0.0);
+                match open.iter().rposition(|o| o.name == name) {
+                    Some(pos) => {
+                        // Anything opened above the match never got its
+                        // span_end (a crashed stage): close it first,
+                        // LIFO, at this record's clock.
+                        let v_s = rec.get("v_s").and_then(json::Value::as_f64).unwrap_or(0.0);
+                        while open.len() > pos + 1 {
+                            let stray = open.pop().expect("len checked");
+                            let stray_cost = (v_s - stray.start_v_s).max(0.0);
+                            fold(&mut open, stray, stray_cost);
+                        }
+                        let span = open.pop().expect("pos exists");
+                        fold(&mut open, span, cost);
+                    }
+                    None => {
+                        // Unmatched end: fold as a root-level path.
+                        let mut detached = Vec::new();
+                        fold(
+                            &mut detached,
+                            OpenSpan { name: name.to_string(), start_v_s: 0.0, child_cost_s: 0.0 },
+                            cost,
+                        );
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    while let Some(span) = open.pop() {
+        let cost = (final_v_s - span.start_v_s).max(0.0);
+        fold(&mut open, span, cost);
+    }
+
+    Ok(Profile { source: source.to_string(), rows, hists: summary.hists })
+}
+
+/// Build a flat profile from an archived [`RunSummary`] — summaries keep
+/// per-stage totals but no span nesting or call counts, so every stage
+/// becomes a root row with one call and `self == total`.
+pub fn profile_summary(source: &str, summary: &RunSummary) -> Profile {
+    let rows = summary
+        .stages
+        .iter()
+        .map(|st| ProfileRow {
+            path: vec![st.name.clone()],
+            calls: 1,
+            total_s: st.v_cost_s,
+            self_s: st.v_cost_s,
+        })
+        .collect();
+    Profile { source: source.to_string(), rows, hists: summary.hists.clone() }
+}
+
+/// Render the profile as an indented text tree plus a histogram table.
+/// Deterministic: depends only on the profile.
+pub fn render_profile(p: &Profile) -> String {
+    let total = p.total_s();
+    let mut out = String::new();
+    let _ = writeln!(out, "profile: {}  roots total {total:.6}s", p.source);
+    let _ = writeln!(
+        out,
+        "{:<32} {:>6} {:>12} {:>12} {:>7}",
+        "span", "calls", "total_s", "self_s", "total%"
+    );
+    // Pre-order: roots in first-completion order, each followed by its
+    // subtree (children likewise in first-completion order).
+    fn walk(out: &mut String, p: &Profile, prefix: &[String], total: f64) {
+        for r in p
+            .rows
+            .iter()
+            .filter(|r| r.path.len() == prefix.len() + 1 && r.path[..prefix.len()] == *prefix)
+        {
+            let pct = if total > 0.0 { 100.0 * r.total_s / total } else { 0.0 };
+            let label = format!("{}{}", "  ".repeat(r.depth()), r.name());
+            let _ = writeln!(
+                out,
+                "{label:<32} {:>6} {:>12.6} {:>12.6} {:>6.1}%",
+                r.calls, r.total_s, r.self_s, pct
+            );
+            walk(out, p, &r.path, total);
+        }
+    }
+    walk(&mut out, p, &[], total);
+    if !p.hists.is_empty() {
+        let _ = writeln!(out, "histograms:");
+        for h in &p.hists {
+            let _ = writeln!(
+                out,
+                "  {:<24} count {:>6}  p50 {:>10.4}  p95 {:>10.4}  max {:>10.4}",
+                h.name, h.count, h.p50, h.p95, h.max
+            );
+        }
+    }
+    out
+}
+
+/// Serialize the profile to versioned single-line JSON through the
+/// canonical writer (byte-deterministic).
+pub fn profile_json(p: &Profile) -> String {
+    let mut o = String::with_capacity(1024);
+    let _ = write!(o, "{{\"profile_version\":{PROFILE_VERSION},\"source\":");
+    json::write_escaped(&mut o, &p.source);
+    o.push_str(",\"total_s\":");
+    json::write_f64(&mut o, p.total_s());
+    o.push_str(",\"spans\":[");
+    for (i, r) in p.rows.iter().enumerate() {
+        if i > 0 {
+            o.push(',');
+        }
+        o.push_str("{\"path\":");
+        json::write_escaped(&mut o, &r.key());
+        let _ = write!(o, ",\"depth\":{},\"calls\":{}", r.depth(), r.calls);
+        o.push_str(",\"total_s\":");
+        json::write_f64(&mut o, r.total_s);
+        o.push_str(",\"self_s\":");
+        json::write_f64(&mut o, r.self_s);
+        o.push('}');
+    }
+    o.push_str("],\"hists\":[");
+    for (i, h) in p.hists.iter().enumerate() {
+        if i > 0 {
+            o.push(',');
+        }
+        o.push_str("{\"name\":");
+        json::write_escaped(&mut o, &h.name);
+        let _ = write!(o, ",\"count\":{}", h.count);
+        for (k, v) in [("p50", h.p50), ("p95", h.p95), ("max", h.max)] {
+            let _ = write!(o, ",\"{k}\":");
+            json::write_f64(&mut o, v);
+        }
+        o.push('}');
+    }
+    o.push_str("]}");
+    o
+}
+
+/// Render collapsed-stack lines for flamegraph tools: one
+/// `path;to;span <value>` line per row, the value its **self** time in
+/// integer virtual microseconds. Rows with zero self time are kept (a
+/// flamegraph renders them as frame-only entries); lines are sorted
+/// lexically so the output is diff-stable.
+pub fn render_fold(p: &Profile) -> String {
+    let mut lines: Vec<String> = p
+        .rows
+        .iter()
+        .map(|r| format!("{} {}", r.key(), (r.self_s.max(0.0) * 1e6).round() as u64))
+        .collect();
+    lines.sort();
+    let mut out = lines.join("\n");
+    out.push('\n');
+    out
+}
+
+/// Compare two profiles path-by-path. The union of both sides' paths is
+/// compared in baseline-first first-appearance order; each path yields
+/// `total_s` / `self_s` deltas (lower is better) and a `calls` delta
+/// (neutral), named `<path>:<metric>`.
+pub fn diff_profiles(baseline: &Profile, candidate: &Profile) -> Vec<MetricDelta> {
+    let mut keys: Vec<String> = Vec::new();
+    for r in baseline.rows.iter().chain(candidate.rows.iter()) {
+        let k = r.key();
+        if !keys.iter().any(|x| x == &k) {
+            keys.push(k);
+        }
+    }
+    let mut metrics = Vec::new();
+    for key in keys {
+        let b = baseline.row(&key);
+        let c = candidate.row(&key);
+        for (metric, dir, get) in [
+            (
+                "total_s",
+                Direction::LowerIsBetter,
+                (|r: &ProfileRow| r.total_s) as fn(&ProfileRow) -> f64,
+            ),
+            ("self_s", Direction::LowerIsBetter, |r: &ProfileRow| r.self_s),
+            ("calls", Direction::Neutral, |r: &ProfileRow| r.calls as f64),
+        ] {
+            metrics.push(MetricDelta {
+                name: format!("{key}:{metric}"),
+                direction: dir,
+                baseline: b.map(get),
+                candidate: c.map(get),
+                baseline_cv: 0.0,
+            });
+        }
+    }
+    metrics
+}
+
+/// Render a profile diff as an aligned table with the diff engine's
+/// marker conventions (`(better)` / `(worse)` / `(shifted)` /
+/// `(appeared)` / `(vanished)`); identical rows stay out of the table.
+pub fn render_profile_diff(
+    baseline: &Profile,
+    candidate: &Profile,
+    metrics: &[MetricDelta],
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "profile diff: {} -> {}", baseline.source, candidate.source);
+    let _ = writeln!(
+        out,
+        "{:<40} {:>12} {:>12} {:>10}",
+        "span:metric", "baseline", "candidate", "delta"
+    );
+    let mut differing = 0usize;
+    for m in metrics {
+        if m.baseline == m.candidate {
+            continue;
+        }
+        differing += 1;
+        let marker = match (m.baseline, m.candidate) {
+            (None, Some(_)) => " (appeared)",
+            (Some(_), None) => " (vanished)",
+            _ => match m.improved() {
+                Some(true) => " (better)",
+                Some(false) => " (worse)",
+                None => " (shifted)",
+            },
+        };
+        let fmt = |v: Option<f64>| match v {
+            None => "-".to_string(),
+            Some(x) => format!("{x:.6}"),
+        };
+        let delta = m.delta().map(|d| format!("{d:+.6}")).unwrap_or_else(|| "-".to_string());
+        let _ = writeln!(
+            out,
+            "{:<40} {:>12} {:>12} {:>10}{marker}",
+            m.name,
+            fmt(m.baseline),
+            fmt(m.candidate),
+            delta
+        );
+    }
+    if differing == 0 {
+        let _ = writeln!(out, "(no differences)");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cst_telemetry::{event, strip_wall_fields, Telemetry};
+
+    /// A journal with nested and repeated spans: search contains two
+    /// model_fit child spans; sampling is a root sibling.
+    fn nested_journal() -> Vec<String> {
+        let tel = Telemetry::in_memory();
+        tel.meta(&[]);
+        let sampling = tel.span("sampling", 0.0);
+        sampling.end_with_cost(0.0, 0.25);
+        let search = tel.span("search", 0.0);
+        let fit = tel.span("model_fit", 1.0);
+        fit.end(2.0); // cost 1.0
+        let fit = tel.span("model_fit", 4.0);
+        fit.end(6.5); // cost 2.5
+        event!(tel, "iteration", iteration = 1u32, v_s = 7.0, best_ms = 4.0, evals = 8u32);
+        search.end(9.0); // cost 9.0, children 3.5, self 5.5
+        event!(tel, "outcome", tuner = "t", best_ms = 4.0, evaluations = 8u32, search_s = 9.0);
+        tel.observe(cst_telemetry::Hist::EvalTimeMs, 2.0);
+        tel.finish(9.0);
+        tel.lines().unwrap().iter().map(|l| strip_wall_fields(l)).collect()
+    }
+
+    #[test]
+    fn folds_nested_spans_with_child_attribution() {
+        let p = profile_journal("nested", &nested_journal()).unwrap();
+        let keys: Vec<String> = p.rows.iter().map(|r| r.key()).collect();
+        assert_eq!(keys, ["sampling", "search;model_fit", "search"]);
+        let fit = p.row("search;model_fit").unwrap();
+        assert_eq!(fit.calls, 2);
+        assert!((fit.total_s - 3.5).abs() < 1e-12);
+        assert!((fit.self_s - 3.5).abs() < 1e-12);
+        let search = p.row("search").unwrap();
+        assert_eq!(search.calls, 1);
+        assert!((search.total_s - 9.0).abs() < 1e-12);
+        assert!((search.self_s - 5.5).abs() < 1e-12, "children attributed: {}", search.self_s);
+        assert!((p.total_s() - 9.25).abs() < 1e-12);
+        assert_eq!(p.hists.len(), 1);
+    }
+
+    #[test]
+    fn renders_deterministically_in_every_format() {
+        let lines = nested_journal();
+        let a = profile_journal("x", &lines).unwrap();
+        let b = profile_journal("x", &lines).unwrap();
+        assert_eq!(render_profile(&a), render_profile(&b));
+        assert_eq!(profile_json(&a), profile_json(&b));
+        assert_eq!(render_fold(&a), render_fold(&b));
+        let text = render_profile(&a);
+        assert!(text.contains("  model_fit"), "child indented:\n{text}");
+        let fold = render_fold(&a);
+        assert!(fold.contains("search;model_fit 3500000"), "{fold}");
+        assert!(fold.contains("search 5500000"), "{fold}");
+        assert!(profile_json(&a).starts_with("{\"profile_version\":1,"));
+    }
+
+    #[test]
+    fn unclosed_spans_fold_at_final_clock() {
+        let lines = vec![
+            r#"{"type":"journal_start","seq":0,"schema":2,"source":"t"}"#.to_string(),
+            r#"{"type":"span_start","seq":1,"name":"search","v_s":1.0}"#.to_string(),
+            r#"{"type":"journal_end","seq":2,"events":3,"v_s":5.0}"#.to_string(),
+        ];
+        let p = profile_journal("trunc", &lines).unwrap();
+        let row = p.row("search").unwrap();
+        assert!((row.total_s - 4.0).abs() < 1e-12, "closed at final v_s: {row:?}");
+    }
+
+    #[test]
+    fn summary_fallback_is_flat() {
+        let lines = nested_journal();
+        let s = summarize("s", &lines).unwrap();
+        let p = profile_summary("s", &s);
+        assert!(p.rows.iter().all(|r| r.depth() == 0 && r.total_s == r.self_s));
+        // Stage totals match the journal's span totals per name.
+        let jp = profile_journal("s", &lines).unwrap();
+        let search_total: f64 =
+            jp.rows.iter().filter(|r| r.name() == "search").map(|r| r.total_s).sum();
+        assert!((p.row("search").unwrap().total_s - search_total).abs() < 1e-12);
+    }
+
+    #[test]
+    fn diff_marks_direction_and_one_sided_paths() {
+        let base = profile_journal("base", &nested_journal()).unwrap();
+        let mut cand = base.clone();
+        cand.source = "cand".into();
+        cand.rows.iter_mut().find(|r| r.key() == "search").unwrap().self_s += 1.0;
+        cand.rows.iter_mut().find(|r| r.key() == "search").unwrap().total_s += 1.0;
+        cand.rows.retain(|r| r.key() != "sampling");
+        let metrics = diff_profiles(&base, &cand);
+        let m = metrics.iter().find(|m| m.name == "search:total_s").unwrap();
+        assert_eq!(m.improved(), Some(false), "time grew: worse");
+        let gone = metrics.iter().find(|m| m.name == "sampling:total_s").unwrap();
+        assert!(gone.baseline.is_some() && gone.candidate.is_none());
+        let text = render_profile_diff(&base, &cand, &metrics);
+        assert!(text.contains("(worse)") && text.contains("(vanished)"), "{text}");
+        let same = diff_profiles(&base, &base);
+        assert!(render_profile_diff(&base, &base, &same).contains("(no differences)"));
+    }
+}

@@ -24,8 +24,11 @@ pub mod server;
 pub mod session;
 
 pub use client::{roundtrip, Connection};
-pub use manager::{Progress, Rejection, Session, SessionLimits, SessionManager, SessionState};
-pub use proto::{parse_request, Request, PROTO_VERSION};
+pub use manager::{
+    OpsSnapshot, Progress, Rejection, Session, SessionCounts, SessionLimits, SessionManager,
+    SessionRow, SessionState,
+};
+pub use proto::{parse_request, validate_metrics_frame, Request, PROTO_VERSION};
 pub use server::{ServeConfig, Server, ServerHandle};
 pub use session::{
     all_stencils, build_tuner, find_stencil, run_session, DoneInfo, FaultSpec, SessionOutcome,

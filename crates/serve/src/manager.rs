@@ -18,11 +18,14 @@
 //! modulo the explicitly wall-clock `wall_*` fields.
 
 use crate::session::{run_session, DoneInfo, TuneRequest};
+use cst_gpu_sim::registry::{shared_memo_stats, SharedMemoStats};
 use cst_obs::JournalStore;
+use cst_telemetry::metrics::{CounterHandle, MetricsRegistry, MetricsSnapshot};
 use cst_telemetry::{strip_wall_fields, Telemetry};
 use cstuner_core::CancelToken;
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
 
 /// Lifecycle state of one session.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -234,6 +237,60 @@ struct MgrShared {
     /// Sessions that reached a terminal state.
     completed: u64,
     shutting_down: bool,
+    /// (stencil, arch) pairs this daemon's sessions have tuned — the
+    /// metrics snapshot reports shared-memo stats for these pairs only,
+    /// so concurrent daemons in one process (tests, future worker
+    /// splits) don't leak each other's cache traffic into a snapshot.
+    memo_pairs: BTreeSet<(String, String)>,
+}
+
+/// Sessions by lifecycle state at one instant.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionCounts {
+    /// Admitted, waiting for a worker.
+    pub queued: usize,
+    /// Currently tuning.
+    pub running: usize,
+    /// Finished with an outcome.
+    pub done: usize,
+    /// Finished with an error.
+    pub failed: usize,
+    /// Cancelled before completion.
+    pub cancelled: usize,
+}
+
+/// One session's one-line summary in the all-sessions `status` frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionRow {
+    /// Session id.
+    pub session: u64,
+    /// Wire name of the current state.
+    pub state: &'static str,
+    /// Journal records emitted so far.
+    pub records: usize,
+    /// Requested stencil.
+    pub stencil: String,
+    /// Requested architecture.
+    pub arch: String,
+    /// Requested tuner.
+    pub tuner: String,
+    /// Request seed.
+    pub seed: u64,
+}
+
+/// Everything a `metrics` frame reports, gathered under one snapshot.
+/// (Named to stay clear of `cst_gpu_sim::metrics::MetricsReport`, the
+/// per-kernel profiler report.)
+#[derive(Debug, Clone)]
+pub struct OpsSnapshot {
+    /// Sessions by state.
+    pub counts: SessionCounts,
+    /// Registry snapshot (counters, gauges, histograms).
+    pub snapshot: MetricsSnapshot,
+    /// Shared-memo stats for the pairs this daemon has tuned.
+    pub memo: Vec<SharedMemoStats>,
+    /// Milliseconds since the manager was created (wall-class).
+    pub wall_uptime_ms: f64,
 }
 
 /// The session registry and scheduler shared by every connection thread
@@ -246,12 +303,26 @@ pub struct SessionManager {
     work_cv: Condvar,
     /// Wakes the shutdown drain when a session finishes.
     idle_cv: Condvar,
+    /// Operational metrics. Per-manager (not process-global) so
+    /// concurrent daemons in one process stay independent.
+    metrics: MetricsRegistry,
+    admission_accepted: CounterHandle,
+    admission_busy: CounterHandle,
+    started: Instant,
 }
 
 impl SessionManager {
     /// Build a manager. With an `archive` store, every `done` session's
     /// wall-stripped journal is ingested as a run summary on completion.
     pub fn new(limits: SessionLimits, archive: Option<JournalStore>) -> Arc<SessionManager> {
+        let metrics = MetricsRegistry::new();
+        let admission_accepted = metrics.counter("admission_accepted");
+        let admission_busy = metrics.counter("admission_busy");
+        // Register the point-in-time gauges up front so an idle daemon's
+        // snapshot still lists them (at zero).
+        metrics.gauge("queue_depth");
+        metrics.gauge("sessions_running");
+        metrics.gauge("watchers");
         Arc::new(SessionManager {
             limits,
             archive,
@@ -262,15 +333,82 @@ impl SessionManager {
                 active: 0,
                 completed: 0,
                 shutting_down: false,
+                memo_pairs: BTreeSet::new(),
             }),
             work_cv: Condvar::new(),
             idle_cv: Condvar::new(),
+            metrics,
+            admission_accepted,
+            admission_busy,
+            started: Instant::now(),
         })
     }
 
     /// The configured admission bounds.
     pub fn limits(&self) -> SessionLimits {
         self.limits
+    }
+
+    /// The manager's metrics registry, for the connection layer to hang
+    /// its own counters and latency histograms off.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// Sessions by state at this instant.
+    pub fn counts_by_state(&self) -> SessionCounts {
+        let g = self.shared.lock().expect("manager lock");
+        let mut counts = SessionCounts::default();
+        for session in g.sessions.values() {
+            match session.state() {
+                SessionState::Queued => counts.queued += 1,
+                SessionState::Running => counts.running += 1,
+                SessionState::Done => counts.done += 1,
+                SessionState::Failed => counts.failed += 1,
+                SessionState::Cancelled => counts.cancelled += 1,
+            }
+        }
+        counts
+    }
+
+    /// One summary row per known session, in admission order.
+    pub fn session_rows(&self) -> Vec<SessionRow> {
+        let g = self.shared.lock().expect("manager lock");
+        g.sessions
+            .values()
+            .map(|s| SessionRow {
+                session: s.id,
+                state: s.state().name(),
+                records: s.record_count(),
+                stencil: s.request.stencil.clone(),
+                arch: s.request.arch.clone(),
+                tuner: s.request.tuner.clone(),
+                seed: s.request.seed,
+            })
+            .collect()
+    }
+
+    /// Gather everything a `metrics` frame reports. Point-in-time gauges
+    /// are refreshed from the authoritative session registry just before
+    /// the snapshot, so they can never drift from the states the same
+    /// frame's `sessions` section shows.
+    pub fn ops_snapshot(&self) -> OpsSnapshot {
+        let (queued, running, pairs) = {
+            let g = self.shared.lock().expect("manager lock");
+            (g.queue.len(), g.active - g.queue.len(), g.memo_pairs.clone())
+        };
+        self.metrics.gauge("queue_depth").set(queued as i64);
+        self.metrics.gauge("sessions_running").set(running as i64);
+        let memo = shared_memo_stats()
+            .into_iter()
+            .filter(|s| pairs.contains(&(s.stencil.clone(), s.arch.clone())))
+            .collect();
+        OpsSnapshot {
+            counts: self.counts_by_state(),
+            snapshot: self.metrics.snapshot(),
+            memo,
+            wall_uptime_ms: self.started.elapsed().as_secs_f64() * 1e3,
+        }
     }
 
     /// Admit a session or reject it (typed). Admission never blocks.
@@ -281,6 +419,7 @@ impl SessionManager {
         }
         let limit = self.limits.admission_limit();
         if g.active >= limit {
+            self.admission_busy.inc();
             return Err(Rejection::Busy {
                 running: g.active - g.queue.len(),
                 queued: g.queue.len(),
@@ -293,6 +432,18 @@ impl SessionManager {
         g.sessions.insert(id, Arc::clone(&session));
         g.queue.push_back(id);
         g.active += 1;
+        // The registry reports display names (`StencilSpec::name`,
+        // `GpuArch::name`), which differ from the request's spelling
+        // (e.g. `a100` vs `A100`): store the resolved names so the
+        // snapshot filter actually matches.
+        let stencil = crate::session::find_stencil(&session.request.stencil)
+            .map(|k| k.spec.name.to_string())
+            .unwrap_or_else(|| session.request.stencil.clone());
+        let arch = cst_gpu_sim::GpuArch::by_name(&session.request.arch)
+            .map(|a| a.name.to_string())
+            .unwrap_or_else(|| session.request.arch.clone());
+        g.memo_pairs.insert((stencil, arch));
+        self.admission_accepted.inc();
         drop(g);
         self.work_cv.notify_one();
         Ok(session)

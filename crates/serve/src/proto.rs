@@ -13,8 +13,11 @@
 //! writer ([`cst_telemetry::json`]), so float formatting and string
 //! escaping are byte-deterministic across the whole workspace.
 
+use crate::manager::{SessionCounts, SessionRow};
 use crate::session::{DoneInfo, FaultSpec, TuneRequest};
+use cst_gpu_sim::registry::SharedMemoStats;
 use cst_telemetry::json::{self, write_escaped, write_f64, Value};
+use cst_telemetry::metrics::{MetricsSnapshot, METRICS_VERSION};
 use std::fmt::Write as _;
 
 /// Wire-protocol version, negotiated via the `hello` frame.
@@ -24,8 +27,8 @@ pub const PROTO_VERSION: u64 = 1;
 /// the journal schema's event-type registry
 /// ([`cst_telemetry::schema::EVENT_TYPES`]): any streamed line whose
 /// type is not listed here is a journal record.
-pub const PROTOCOL_FRAME_TYPES: [&str; 7] =
-    ["hello", "accepted", "busy", "error", "session", "session_done", "bye"];
+pub const PROTOCOL_FRAME_TYPES: [&str; 9] =
+    ["hello", "accepted", "busy", "error", "session", "session_done", "bye", "status", "metrics"];
 
 /// The `type` of one streamed line, if it parses as a JSON object.
 pub fn frame_type(line: &str) -> Option<String> {
@@ -42,11 +45,14 @@ pub fn is_protocol_frame(line: &str) -> bool {
 pub enum Request {
     /// Submit a tuning session.
     Tune(TuneRequest),
-    /// One-shot state of a session.
+    /// One-shot state of a session, or — without a session id — a
+    /// summary of every session the daemon knows about.
     Status {
-        /// Session id.
-        session: u64,
+        /// Session id; `None` asks for the all-sessions summary.
+        session: Option<u64>,
     },
+    /// One-shot operational metrics snapshot of the daemon.
+    Metrics,
     /// Replay-and-follow a session's stream (works on queued, running
     /// and finished sessions alike).
     Watch {
@@ -137,19 +143,20 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         .ok_or_else(|| "request is missing a string `cmd`".to_string())?;
     match cmd {
         "tune" => parse_tune(&v).map(Request::Tune),
-        "status" | "watch" | "cancel" => {
+        "status" => Ok(Request::Status { session: opt_u64(&v, "session")? }),
+        "metrics" => Ok(Request::Metrics),
+        "watch" | "cancel" => {
             let session = v
                 .get("session")
                 .and_then(Value::as_u64)
                 .ok_or_else(|| format!("`{cmd}` requires a non-negative integer `session`"))?;
             Ok(match cmd {
-                "status" => Request::Status { session },
                 "watch" => Request::Watch { session },
                 _ => Request::Cancel { session },
             })
         }
         "shutdown" => Ok(Request::Shutdown),
-        other => Err(format!("unknown cmd `{other}` (tune|status|watch|cancel|shutdown)")),
+        other => Err(format!("unknown cmd `{other}` (tune|status|metrics|watch|cancel|shutdown)")),
     }
 }
 
@@ -186,6 +193,16 @@ pub fn session_request_line(cmd: &str, session: u64) -> String {
 /// Serialize the `shutdown` request.
 pub fn shutdown_request_line() -> String {
     "{\"cmd\":\"shutdown\"}".to_string()
+}
+
+/// Serialize the sessionless `status` request (all-sessions summary).
+pub fn status_summary_request_line() -> String {
+    "{\"cmd\":\"status\"}".to_string()
+}
+
+/// Serialize the `metrics` request.
+pub fn metrics_request_line() -> String {
+    "{\"cmd\":\"metrics\"}".to_string()
 }
 
 /// The greeting frame sent on every accepted connection.
@@ -263,6 +280,187 @@ pub fn bye_frame(sessions_completed: u64) -> String {
     format!("{{\"type\":\"bye\",\"sessions_completed\":{sessions_completed}}}")
 }
 
+fn write_session_counts(s: &mut String, counts: &SessionCounts) {
+    let _ = write!(
+        s,
+        "\"sessions\":{{\"queued\":{},\"running\":{},\"done\":{},\"failed\":{},\"cancelled\":{}}}",
+        counts.queued, counts.running, counts.done, counts.failed, counts.cancelled
+    );
+}
+
+/// All-sessions summary (reply to a sessionless `status` request):
+/// counts by state plus one row per known session.
+pub fn status_frame(counts: &SessionCounts, rows: &[SessionRow]) -> String {
+    let mut s = format!("{{\"type\":\"status\",\"proto\":{PROTO_VERSION},");
+    write_session_counts(&mut s, counts);
+    s.push_str(",\"list\":[");
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(
+            s,
+            "{{\"session\":{},\"state\":\"{}\",\"records\":{}",
+            r.session, r.state, r.records
+        );
+        s.push_str(",\"stencil\":");
+        write_escaped(&mut s, &r.stencil);
+        s.push_str(",\"arch\":");
+        write_escaped(&mut s, &r.arch);
+        s.push_str(",\"tuner\":");
+        write_escaped(&mut s, &r.tuner);
+        let _ = write!(s, ",\"seed\":{}}}", r.seed);
+    }
+    s.push_str("]}");
+    s
+}
+
+/// Operational metrics snapshot (reply to a `metrics` request).
+///
+/// Field order is part of the determinism contract: every deterministic
+/// section (session counts, counters, gauges, histograms) precedes the
+/// first `wall*` key, and everything wall-clock-derived — uptime, wire
+/// byte totals, request latency digests and the shared-memo stats (whose
+/// hit/miss split is thread-timing-dependent under parallel prefetch) —
+/// is serialized contiguously last, so
+/// [`cst_telemetry::strip_wall_fields`] reduces the frame to a
+/// byte-deterministic core.
+pub fn metrics_frame(
+    counts: &SessionCounts,
+    snap: &MetricsSnapshot,
+    memo: &[SharedMemoStats],
+    wall_uptime_ms: f64,
+) -> String {
+    let mut s = format!("{{\"type\":\"metrics\",\"proto\":{PROTO_VERSION},");
+    write_session_counts(&mut s, counts);
+    s.push(',');
+    snap.write_deterministic(&mut s);
+    s.push_str(",\"wall_uptime_ms\":");
+    let _ = write!(s, "{wall_uptime_ms:.3}");
+    snap.write_wall(&mut s);
+    s.push_str(",\"wall_memo\":[");
+    for (i, m) in memo.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str("{\"stencil\":");
+        write_escaped(&mut s, &m.stencil);
+        s.push_str(",\"arch\":");
+        write_escaped(&mut s, &m.arch);
+        let _ = write!(
+            s,
+            ",\"hits\":{},\"misses\":{},\"evictions\":{},\"entries\":{},\"cap\":{}}}",
+            m.hits, m.misses, m.evictions, m.entries, m.cap
+        );
+    }
+    s.push_str("]}");
+    s
+}
+
+fn require_obj<'v>(v: &'v Value, key: &str) -> Result<&'v Value, String> {
+    match v.get(key) {
+        Some(obj @ Value::Obj(_)) => Ok(obj),
+        Some(x) => Err(format!("`{key}` must be an object, got {}", x.kind())),
+        None => Err(format!("missing `{key}`")),
+    }
+}
+
+fn check_hist_object(name: &str, h: &Value) -> Result<(), String> {
+    for field in ["count", "sum", "min", "max"] {
+        match h.get(field) {
+            Some(Value::Num(_)) | Some(Value::Null) => {}
+            Some(x) => {
+                return Err(format!(
+                    "hist `{name}` field `{field}` must be a number, got {}",
+                    x.kind()
+                ))
+            }
+            None => return Err(format!("hist `{name}` is missing `{field}`")),
+        }
+    }
+    let buckets = h
+        .get("buckets")
+        .and_then(Value::as_arr)
+        .ok_or_else(|| format!("hist `{name}` is missing a `buckets` array"))?;
+    if buckets.len() != 16 {
+        return Err(format!("hist `{name}` has {} buckets, expected 16", buckets.len()));
+    }
+    Ok(())
+}
+
+/// Validate one `metrics` frame line: the frame type, versions, every
+/// section's shape (numeric counters/gauges, 16-bucket histogram
+/// digests, named memo rows) and the wall-tail ordering contract (no
+/// deterministic key after the first `wall*` key). This is the
+/// `journal-check`-style validator behind `cstuner metrics-check`.
+pub fn validate_metrics_frame(line: &str) -> Result<(), String> {
+    let v = json::parse(line).map_err(|e| format!("malformed frame: {e}"))?;
+    match v.get("type").and_then(Value::as_str) {
+        Some("metrics") => {}
+        Some(other) => return Err(format!("frame type is `{other}`, expected `metrics`")),
+        None => return Err("frame has no string `type`".to_string()),
+    }
+    if v.get("proto").and_then(Value::as_u64) != Some(PROTO_VERSION) {
+        return Err(format!("`proto` must be {PROTO_VERSION}"));
+    }
+    if v.get("metrics_version").and_then(Value::as_u64) != Some(METRICS_VERSION) {
+        return Err(format!("`metrics_version` must be {METRICS_VERSION}"));
+    }
+    let sessions = require_obj(&v, "sessions")?;
+    for state in ["queued", "running", "done", "failed", "cancelled"] {
+        if sessions.get(state).and_then(Value::as_u64).is_none() {
+            return Err(format!("`sessions.{state}` must be a non-negative integer"));
+        }
+    }
+    for section in ["counters", "gauges"] {
+        let Value::Obj(fields) = require_obj(&v, section)? else { unreachable!() };
+        for (name, val) in fields {
+            if !matches!(val, Value::Num(_)) {
+                return Err(format!("`{section}.{name}` must be a number, got {}", val.kind()));
+            }
+        }
+    }
+    for section in ["hists", "wall_hists"] {
+        let Value::Obj(fields) = require_obj(&v, section)? else { unreachable!() };
+        for (name, h) in fields {
+            check_hist_object(name, h)?;
+        }
+    }
+    require_obj(&v, "wall_counters")?;
+    let memo = v
+        .get("wall_memo")
+        .and_then(Value::as_arr)
+        .ok_or_else(|| "missing `wall_memo` array".to_string())?;
+    for row in memo {
+        for key in ["stencil", "arch"] {
+            if row.get(key).and_then(Value::as_str).is_none() {
+                return Err(format!("memo row is missing a string `{key}`"));
+            }
+        }
+        for key in ["hits", "misses", "evictions", "entries", "cap"] {
+            if row.get(key).and_then(Value::as_u64).is_none() {
+                return Err(format!("memo row is missing a numeric `{key}`"));
+            }
+        }
+    }
+    // Ordering contract: once a `wall*` key appears, every later key is
+    // also wall-class, so strip_wall_fields removes exactly the
+    // nondeterministic tail.
+    let Value::Obj(fields) = &v else { unreachable!() };
+    let mut seen_wall = false;
+    for (key, _) in fields {
+        if key.starts_with("wall") {
+            seen_wall = true;
+        } else if seen_wall {
+            return Err(format!("deterministic key `{key}` appears after a wall field"));
+        }
+    }
+    if !seen_wall {
+        return Err("frame has no wall tail (`wall_uptime_ms` expected)".to_string());
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -323,8 +521,16 @@ mod tests {
     fn session_requests_parse() {
         assert_eq!(
             parse_request(&session_request_line("status", 3)).unwrap(),
-            Request::Status { session: 3 }
+            Request::Status { session: Some(3) }
         );
+        assert_eq!(
+            parse_request(&status_summary_request_line()).unwrap(),
+            Request::Status { session: None }
+        );
+        assert_eq!(parse_request(&metrics_request_line()).unwrap(), Request::Metrics);
+        assert!(parse_request(r#"{"cmd":"status","session":"x"}"#)
+            .unwrap_err()
+            .contains("`session` must be"));
         assert_eq!(
             parse_request(&session_request_line("cancel", 0)).unwrap(),
             Request::Cancel { session: 0 }
@@ -334,6 +540,16 @@ mod tests {
 
     #[test]
     fn control_frames_are_valid_json_and_disjoint_from_the_journal_schema() {
+        let counts = SessionCounts { queued: 1, running: 1, done: 2, failed: 0, cancelled: 0 };
+        let row = SessionRow {
+            session: 0,
+            state: "done",
+            records: 57,
+            stencil: "j3d7pt".to_string(),
+            arch: "a100".to_string(),
+            tuner: "cstuner".to_string(),
+            seed: 1,
+        };
         let frames = [
             hello_frame(),
             accepted_frame(1),
@@ -342,6 +558,8 @@ mod tests {
             session_frame(1, "running", 42),
             session_done_frame(1, "failed", None, Some("no valid settings to search")),
             bye_frame(7),
+            status_frame(&counts, std::slice::from_ref(&row)),
+            metrics_frame(&counts, &MetricsSnapshot::default(), &[], 12.5),
         ];
         for frame in &frames {
             let v = json::parse(frame).expect("frame is valid JSON");
@@ -353,6 +571,48 @@ mod tests {
             );
         }
         assert!(!is_protocol_frame(r#"{"type":"iteration","seq":3}"#));
+    }
+
+    #[test]
+    fn metrics_frame_validates_and_strips_to_a_deterministic_core() {
+        let counts = SessionCounts { queued: 0, running: 0, done: 1, failed: 0, cancelled: 0 };
+        let reg = cst_telemetry::metrics::MetricsRegistry::new();
+        reg.counter("admission_accepted").inc();
+        reg.gauge("queue_depth").set(0);
+        reg.wall_counter("wall_wire_out_bytes").add(4096);
+        reg.wall_hist("wall_req_tune_ms").observe(3.5);
+        let memo = [SharedMemoStats {
+            stencil: "j3d7pt".to_string(),
+            arch: "a100".to_string(),
+            hits: 10,
+            misses: 4,
+            evictions: 0,
+            entries: 4,
+            cap: 0,
+        }];
+        let frame = metrics_frame(&counts, &reg.snapshot(), &memo, 250.0);
+        validate_metrics_frame(&frame).expect("frame validates");
+        let stripped = cst_telemetry::strip_wall_fields(&frame);
+        assert!(!stripped.contains("wall"), "{stripped}");
+        assert!(!stripped.contains("memo"), "memo stats are wall-class: {stripped}");
+        json::parse(&stripped).expect("stripped frame stays valid JSON");
+        // A second registry with the same deterministic state strips to
+        // the same bytes regardless of wall-class traffic.
+        let reg2 = cst_telemetry::metrics::MetricsRegistry::new();
+        reg2.counter("admission_accepted").inc();
+        reg2.gauge("queue_depth").set(0);
+        reg2.wall_counter("wall_wire_out_bytes").add(777);
+        let frame2 = metrics_frame(&counts, &reg2.snapshot(), &[], 9.0);
+        assert_eq!(stripped, cst_telemetry::strip_wall_fields(&frame2));
+        // The validator rejects shape violations.
+        assert!(validate_metrics_frame("{\"type\":\"metrics\"}").is_err());
+        assert!(validate_metrics_frame(&frame.replace("\"proto\":1", "\"proto\":2")).is_err());
+        let reordered = frame.replace(",\"wall_uptime_ms\":", ",\"zzz\":1,\"wall_uptime_ms\":");
+        validate_metrics_frame(&reordered).expect("det key before wall tail is fine");
+        let trailing_det = format!("{},\"late\":1}}", frame.trim_end_matches('}'));
+        assert!(validate_metrics_frame(&trailing_det)
+            .unwrap_err()
+            .contains("appears after a wall field"));
     }
 
     #[test]

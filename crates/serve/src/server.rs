@@ -11,13 +11,14 @@
 use crate::manager::{Progress, Rejection, Session, SessionLimits, SessionManager};
 use crate::proto;
 use cst_obs::JournalStore;
+use cst_telemetry::metrics::CounterHandle;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Daemon configuration (`cstuner serve` flags).
 #[derive(Debug, Clone)]
@@ -180,21 +181,23 @@ impl ServerHandle {
     }
 }
 
-fn send_line(stream: &mut TcpStream, line: &str) -> std::io::Result<()> {
+fn send_line(stream: &mut TcpStream, line: &str, wire_out: &CounterHandle) -> std::io::Result<()> {
     stream.write_all(line.as_bytes())?;
-    stream.write_all(b"\n")
+    stream.write_all(b"\n")?;
+    wire_out.add(line.len() as u64 + 1);
+    Ok(())
 }
 
 /// Replay a session's records from the start and follow until terminal,
 /// then send the `session_done` frame. Returns early (leaving the
 /// session running) if the client went away.
-fn stream_session(stream: &mut TcpStream, session: &Arc<Session>) {
+fn stream_session(stream: &mut TcpStream, session: &Arc<Session>, wire_out: &CounterHandle) {
     let mut cursor = 0usize;
     loop {
         match session.follow(cursor) {
             Progress::Records(lines) => {
                 for line in &lines {
-                    if send_line(stream, line).is_err() {
+                    if send_line(stream, line, wire_out).is_err() {
                         return;
                     }
                 }
@@ -207,7 +210,7 @@ fn stream_session(stream: &mut TcpStream, session: &Arc<Session>) {
                     done.as_ref(),
                     error.as_deref(),
                 );
-                let _ = send_line(stream, &frame);
+                let _ = send_line(stream, &frame, wire_out);
                 return;
             }
         }
@@ -220,7 +223,10 @@ fn stream_session(stream: &mut TcpStream, session: &Arc<Session>) {
 const REQUEST_READ_TIMEOUT: Duration = Duration::from_secs(30);
 
 fn handle_connection(mut stream: TcpStream, manager: &Arc<SessionManager>, stop: &AtomicBool) {
-    if send_line(&mut stream, &proto::hello_frame()).is_err() {
+    let metrics = manager.metrics();
+    let wire_in = metrics.wall_counter("wall_wire_in_bytes");
+    let wire_out = metrics.wall_counter("wall_wire_out_bytes");
+    if send_line(&mut stream, &proto::hello_frame(), &wire_out).is_err() {
         return;
     }
     // The timeout only guards the request read; streaming replies below
@@ -233,36 +239,76 @@ fn handle_connection(mut stream: TcpStream, manager: &Arc<SessionManager>, stop:
     if BufReader::new(reader_stream).read_line(&mut line).unwrap_or(0) == 0 {
         return;
     }
-    match proto::parse_request(line.trim()) {
+    wire_in.add(line.len() as u64);
+    let started = Instant::now();
+    let parsed = proto::parse_request(line.trim());
+    // Per-request accounting: a deterministic count per command plus a
+    // wall-class latency digest (handling time, request read to reply
+    // fully written). Names are static so handles resolve once.
+    let (request_counter, latency_hist) = match &parsed {
+        Err(_) => ("requests_invalid", "wall_req_invalid_ms"),
+        Ok(proto::Request::Tune(_)) => ("requests_tune", "wall_req_tune_ms"),
+        Ok(proto::Request::Status { .. }) => ("requests_status", "wall_req_status_ms"),
+        Ok(proto::Request::Metrics) => ("requests_metrics", "wall_req_metrics_ms"),
+        Ok(proto::Request::Watch { .. }) => ("requests_watch", "wall_req_watch_ms"),
+        Ok(proto::Request::Cancel { .. }) => ("requests_cancel", "wall_req_cancel_ms"),
+        Ok(proto::Request::Shutdown) => ("requests_shutdown", "wall_req_shutdown_ms"),
+    };
+    metrics.counter(request_counter).inc();
+    match parsed {
         Err(msg) => {
-            let _ = send_line(&mut stream, &proto::error_frame(&msg));
+            let _ = send_line(&mut stream, &proto::error_frame(&msg), &wire_out);
         }
         Ok(proto::Request::Tune(request)) => match manager.submit(request) {
             Ok(session) => {
-                if send_line(&mut stream, &proto::accepted_frame(session.id)).is_ok() {
-                    stream_session(&mut stream, &session);
+                if send_line(&mut stream, &proto::accepted_frame(session.id), &wire_out).is_ok() {
+                    let watchers = metrics.gauge("watchers");
+                    watchers.add(1);
+                    stream_session(&mut stream, &session, &wire_out);
+                    watchers.add(-1);
                 }
             }
             Err(Rejection::Busy { running, queued, limit }) => {
-                let _ = send_line(&mut stream, &proto::busy_frame(running, queued, limit));
+                let _ =
+                    send_line(&mut stream, &proto::busy_frame(running, queued, limit), &wire_out);
             }
             Err(Rejection::ShuttingDown) => {
-                let _ = send_line(&mut stream, &proto::error_frame("daemon is shutting down"));
+                let _ = send_line(
+                    &mut stream,
+                    &proto::error_frame("daemon is shutting down"),
+                    &wire_out,
+                );
             }
         },
-        Ok(proto::Request::Status { session }) => {
+        Ok(proto::Request::Status { session: Some(session) }) => {
             let frame = match manager.get(session) {
                 Some(s) => proto::session_frame(session, s.state().name(), s.record_count()),
                 None => proto::error_frame(&format!("unknown session {session}")),
             };
-            let _ = send_line(&mut stream, &frame);
+            let _ = send_line(&mut stream, &frame, &wire_out);
+        }
+        Ok(proto::Request::Status { session: None }) => {
+            let frame = proto::status_frame(&manager.counts_by_state(), &manager.session_rows());
+            let _ = send_line(&mut stream, &frame, &wire_out);
+        }
+        Ok(proto::Request::Metrics) => {
+            let ops = manager.ops_snapshot();
+            let frame =
+                proto::metrics_frame(&ops.counts, &ops.snapshot, &ops.memo, ops.wall_uptime_ms);
+            let _ = send_line(&mut stream, &frame, &wire_out);
         }
         Ok(proto::Request::Watch { session }) => match manager.get(session) {
-            Some(s) => stream_session(&mut stream, &s),
+            Some(s) => {
+                let watchers = metrics.gauge("watchers");
+                watchers.add(1);
+                stream_session(&mut stream, &s, &wire_out);
+                watchers.add(-1);
+            }
             None => {
                 let _ = send_line(
                     &mut stream,
                     &proto::error_frame(&format!("unknown session {session}")),
+                    &wire_out,
                 );
             }
         },
@@ -274,14 +320,15 @@ fn handle_connection(mut stream: TcpStream, manager: &Arc<SessionManager>, stop:
                 }
                 None => proto::error_frame(&format!("unknown session {session}")),
             };
-            let _ = send_line(&mut stream, &frame);
+            let _ = send_line(&mut stream, &frame, &wire_out);
         }
         Ok(proto::Request::Shutdown) => {
             let completed = manager.begin_shutdown();
-            let _ = send_line(&mut stream, &proto::bye_frame(completed));
+            let _ = send_line(&mut stream, &proto::bye_frame(completed), &wire_out);
             stop.store(true, Ordering::Relaxed);
         }
     }
+    metrics.wall_hist(latency_hist).observe(started.elapsed().as_secs_f64() * 1e3);
 }
 
 #[cfg(test)]

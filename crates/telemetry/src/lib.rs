@@ -22,6 +22,7 @@
 //! per-stage/convergence/counter summary behind `cstuner report`.
 
 pub mod json;
+pub mod metrics;
 pub mod report;
 pub mod schema;
 
@@ -176,7 +177,7 @@ impl Default for HistSnapshot {
 }
 
 impl HistSnapshot {
-    fn observe(&mut self, v: f64) {
+    pub(crate) fn observe(&mut self, v: f64) {
         if !v.is_finite() {
             return;
         }
@@ -459,21 +460,8 @@ impl Telemetry {
                 let _ = write!(line, ",\"{}\":{}", c.name(), counters[c.index()]);
             }
             for h in Hist::ALL {
-                let s = &hists[h.index()];
-                let _ = write!(line, ",\"hist_{}\":{{\"count\":{},\"sum\":", h.name(), s.count);
-                write_value(&mut line, &FieldValue::F64(s.sum));
-                line.push_str(",\"min\":");
-                write_value(&mut line, &FieldValue::F64(s.min));
-                line.push_str(",\"max\":");
-                write_value(&mut line, &FieldValue::F64(s.max));
-                line.push_str(",\"buckets\":[");
-                for (i, b) in s.buckets.iter().enumerate() {
-                    if i > 0 {
-                        line.push(',');
-                    }
-                    let _ = write!(line, "{b}");
-                }
-                line.push_str("]}");
+                let _ = write!(line, ",\"hist_{}\":", h.name());
+                metrics::write_hist_object(&mut line, &hists[h.index()]);
             }
             let wall_ms = inner.epoch.elapsed().as_secs_f64() * 1e3;
             let _ = write!(line, ",\"wall_ms\":{wall_ms:.3}}}");

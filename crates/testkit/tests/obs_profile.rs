@@ -1,0 +1,67 @@
+//! Golden-pinned span profiles over the quick-tune journal.
+//!
+//! Pins the `cstuner obs profile` analyzer end to end: the text tree,
+//! the collapsed-stack output and the versioned JSON are byte-stable
+//! functions of the journal's deterministic core (blessed fixtures), the
+//! profile diff of a run against itself is visibly empty, and the
+//! summary fallback agrees with the journal fold stage by stage.
+
+use cst_gpu_sim::GpuArch;
+use cst_obs::{
+    diff_profiles, profile_journal, profile_json, profile_summary, render_fold, render_profile,
+    render_profile_diff, summarize,
+};
+use cst_testkit::{check_golden, quick_tune_journal, TraceOptions};
+
+fn fixture_journal(seed: u64) -> Vec<String> {
+    quick_tune_journal("j3d7pt", &GpuArch::a100(), &TraceOptions { seed, ..Default::default() })
+}
+
+#[test]
+fn profile_outputs_are_pinned_and_deterministic() {
+    let lines = fixture_journal(1);
+    let p = profile_journal("quick_j3d7pt_a100", &lines).unwrap();
+    check_golden("obs_profile_text", &render_profile(&p));
+    check_golden("obs_profile_fold", &render_fold(&p));
+    check_golden("obs_profile_json", &(profile_json(&p) + "\n"));
+    // Independent folds of independently regenerated journals agree
+    // byte for byte.
+    let again = profile_journal("quick_j3d7pt_a100", &fixture_journal(1)).unwrap();
+    assert_eq!(profile_json(&again), profile_json(&p));
+    assert_eq!(render_fold(&again), render_fold(&p));
+}
+
+#[test]
+fn self_diff_is_empty_and_cross_seed_diff_is_signed() {
+    let a = profile_journal("a", &fixture_journal(1)).unwrap();
+    let same = diff_profiles(&a, &a);
+    assert!(render_profile_diff(&a, &a, &same).contains("(no differences)"));
+
+    let b = profile_journal("b", &fixture_journal(2)).unwrap();
+    let metrics = diff_profiles(&a, &b);
+    let text = render_profile_diff(&a, &b, &metrics);
+    assert!(text.contains("search:total_s"), "seeded runs must differ in search time:\n{text}");
+    assert!(
+        text.contains("(better)") || text.contains("(worse)"),
+        "time deltas carry a direction marker:\n{text}"
+    );
+}
+
+#[test]
+fn summary_fallback_agrees_with_the_journal_fold() {
+    let lines = fixture_journal(1);
+    let flat = profile_summary("x", &summarize("x", &lines).unwrap());
+    let full = profile_journal("x", &lines).unwrap();
+    assert!(!flat.rows.is_empty());
+    for row in &flat.rows {
+        let journal_total: f64 =
+            full.rows.iter().filter(|r| r.name() == row.name()).map(|r| r.total_s).sum();
+        assert!(
+            (row.total_s - journal_total).abs() < 1e-12,
+            "stage `{}` diverged: summary {} vs journal {journal_total}",
+            row.name(),
+            row.total_s
+        );
+    }
+    assert!((flat.total_s() - full.total_s()).abs() < 1e-12);
+}

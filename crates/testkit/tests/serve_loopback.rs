@@ -198,6 +198,86 @@ fn kernel_tuner_request_streams_and_gates_cleanly() {
 }
 
 #[test]
+fn metrics_frame_is_deterministic_and_validates() {
+    // (rhs4center, v100) is this test's private registry key within this
+    // binary; the shared-memo rows are wall-class and stripped from the
+    // golden anyway, but keeping the pair private makes the full frame
+    // inspectable too.
+    let server = LoopbackServer::start(2, 4);
+    let req = TuneRequest::build(
+        Some("rhs4center"),
+        Some("v100"),
+        None,
+        Some(4),
+        Some(6.0),
+        true,
+        Some(FaultSpec::Off),
+    )
+    .unwrap();
+    let frames = server.tune(&req);
+    assert!(frames.last().unwrap().contains("\"state\":\"done\""));
+
+    let reply = server.raw(&proto::metrics_request_line());
+    assert_eq!(reply.len(), 1, "metrics is a one-frame reply: {reply:#?}");
+    let frame = &reply[0];
+    proto::validate_metrics_frame(frame).expect("well-formed metrics frame");
+    // Metrics frames are control frames, never journal records.
+    assert!(proto::is_protocol_frame(frame), "{frame}");
+
+    // The deterministic core: wall fields stripped, byte-stable, pinned.
+    let core = strip_wall_fields(frame);
+    assert!(!core.contains("wall"), "wall state leaked into the core: {core}");
+    check_golden("serve_metrics", &(core.clone() + "\n"));
+
+    // A second poll moves exactly its own request counter.
+    let again = server.raw(&proto::metrics_request_line());
+    let core2 = strip_wall_fields(&again[0]);
+    assert_eq!(core2, core.replace("\"requests_metrics\":1", "\"requests_metrics\":2"));
+
+    // The sessionless status summary agrees with the session counts.
+    let status = server.raw(&proto::status_summary_request_line());
+    assert!(status[0].contains("\"done\":1"), "{}", status[0]);
+    assert!(status[0].contains("\"stencil\":\"rhs4center\""), "{}", status[0]);
+    server.shutdown();
+}
+
+#[test]
+fn metrics_requests_do_not_perturb_tuning() {
+    // Identical requests on two daemons — one polled with metrics and
+    // status requests throughout its run, one left alone — must stream
+    // byte-identical journals: observability is strictly read-only.
+    let req = quick_req(9);
+    let quiet = LoopbackServer::start(2, 4);
+    let quiet_frames = quiet.tune(&req);
+    quiet.shutdown();
+
+    let polled = LoopbackServer::start(2, 4);
+    let stop = std::sync::atomic::AtomicBool::new(false);
+    let frames = std::thread::scope(|s| {
+        let poller = s.spawn(|| {
+            let mut polls = 0u32;
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                let reply = polled.raw(&proto::metrics_request_line());
+                proto::validate_metrics_frame(&reply[0]).expect("mid-run metrics frame");
+                polled.raw(&proto::status_summary_request_line());
+                polls += 1;
+            }
+            polls
+        });
+        let frames = polled.tune(&req);
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        let polls = poller.join().unwrap();
+        assert!(polls >= 1, "poller must observe the run");
+        frames
+    });
+    polled.shutdown();
+
+    let (ja, _) = split_stream(&quiet_frames);
+    let (jb, _) = split_stream(&frames);
+    assert_eq!(strip(&ja), strip(&jb), "metrics polling perturbed the tuned stream");
+}
+
+#[test]
 fn overload_gets_a_clean_busy_rejection() {
     // Paused workers: both admitted sessions stay queued, so the third
     // request sees a deterministic load snapshot worth pinning.

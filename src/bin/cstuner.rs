@@ -9,21 +9,29 @@
 //! cstuner codegen --stencil cheby [--arch a100] [--budget 60] [--out k.cu]
 //! cstuner report run.jsonl [--json]              # render a run journal
 //! cstuner journal-check run.jsonl                # schema-validate a journal
+//! cstuner metrics-check metrics.json             # validate a metrics frame
 //! cstuner obs ingest J.jsonl... [--store DIR] [--name N]   # archive runs
 //! cstuner obs diff BASE CAND                     # compare two runs
 //! cstuner obs gate BASE CAND [--save FILE]       # drift gate (exit 1 on regress)
 //! cstuner obs dashboard [--store DIR] [--json]   # whole-archive table
+//! cstuner obs profile RUN [--json|--fold]        # span-profile a journal
+//! cstuner obs profile BASE CAND --diff           # compare two span profiles
 //! cstuner campaign run <spec.json> [--store DIR] [--addr HOST:PORT] [--fresh] [--json]
 //! cstuner campaign status <spec.json> [--store DIR]
 //! cstuner campaign report <spec.json> [--store DIR] [--json] [--save FILE]
 //! cstuner campaign gate <spec.json> --baseline DIR [--store DIR] [--save FILE]
 //! cstuner serve [--addr HOST:PORT] [--workers N] [--queue N] [--archive DIR] [--memo-cap N]
 //! cstuner client tune   [--addr HOST:PORT] [tune flags]     # tune via a daemon
-//! cstuner client status --session N [--addr HOST:PORT]
+//! cstuner client status [--session N] [--addr HOST:PORT]    # one session, or all
 //! cstuner client watch  --session N [--addr HOST:PORT] [--journal FILE]
 //! cstuner client cancel --session N [--addr HOST:PORT]
+//! cstuner client metrics [--addr HOST:PORT] [--json] [--watch] [--interval S] [--count N]
 //! cstuner client shutdown [--addr HOST:PORT]     # drain and stop the daemon
+//! cstuner top [--addr HOST:PORT] [--interval S] [--count N]  # live daemon dashboard
 //! ```
+//!
+//! Every `--addr` above falls back to the `CST_ADDR` env var (the flag
+//! wins), then to the serve default.
 //!
 //! `tune` runs one iso-time tuning session and prints the outcome;
 //! `codegen` additionally emits the winning CUDA kernel. `--journal`
@@ -52,7 +60,8 @@ use cstuner::stencil::{suite, suite_ext};
 use cstuner::telemetry::json::{self, Value};
 use cstuner::telemetry::{report, schema};
 use std::collections::HashMap;
-use std::io::Write as _;
+use std::fmt::Write as _;
+use std::io::{IsTerminal, Write as _};
 use std::path::Path;
 
 /// Split an argument list into `--key [value]` flags and positionals.
@@ -247,7 +256,9 @@ fn obs_usage() -> ! {
          obs ingest <journal.jsonl>... [--store DIR] [--name NAME]   archive runs as summaries\n  \
          obs diff <baseline> <candidate>                             compare two runs\n  \
          obs gate <baseline> <candidate> [--save FILE]               drift gate (exit 1 on regress)\n  \
-         obs dashboard [--store DIR] [--save FILE] [--json]          whole-archive table\n\
+         obs dashboard [--store DIR] [--save FILE] [--json]          whole-archive table\n  \
+         obs profile <run> [--json|--fold]                           span-profile a run\n  \
+         obs profile <baseline> <candidate> --diff                   compare two profiles\n\
          run arguments accept a *.summary.json or a raw JSONL journal; \
          the store defaults to results/obs"
     );
@@ -259,6 +270,32 @@ fn obs_load(path: &str) -> obs::RunSummary {
         eprintln!("cannot load run `{path}`: {e}");
         std::process::exit(2);
     })
+}
+
+/// Load a run argument as a span profile: a raw journal folds its span
+/// tree; a `*.summary.json` falls back to the flat per-stage profile.
+fn obs_profile_load(path: &str) -> obs::Profile {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read `{path}`: {e}");
+        std::process::exit(2);
+    });
+    let source = Path::new(path).file_stem().and_then(|s| s.to_str()).unwrap_or(path).to_string();
+    let first = text.lines().find(|l| !l.trim().is_empty()).unwrap_or("");
+    if first.contains("\"summary_version\"") {
+        match obs::RunSummary::from_json(first) {
+            Ok(s) => obs::profile_summary(&source, &s),
+            Err(e) => {
+                eprintln!("cannot load summary `{path}`: {e}");
+                std::process::exit(2);
+            }
+        }
+    } else {
+        let lines: Vec<String> = text.lines().map(str::to_string).collect();
+        obs::profile_journal(&source, &lines).unwrap_or_else(|e| {
+            eprintln!("cannot profile `{path}`: {e}");
+            std::process::exit(1);
+        })
+    }
 }
 
 /// The `cstuner obs` family: journal archive, run diff, drift gate and
@@ -321,6 +358,25 @@ fn cmd_obs(args: &[String]) {
                 });
             }
             std::process::exit(gate.exit_code());
+        }
+        "profile" => {
+            check_flags("obs profile", &flags, &["json", "fold", "diff"]);
+            if flags.contains_key("diff") {
+                let [base, cand] = positionals.as_slice() else { obs_usage() };
+                let (b, c) = (obs_profile_load(base), obs_profile_load(cand));
+                let metrics = obs::diff_profiles(&b, &c);
+                print!("{}", obs::render_profile_diff(&b, &c, &metrics));
+            } else {
+                let [run] = positionals.as_slice() else { obs_usage() };
+                let p = obs_profile_load(run);
+                if flags.contains_key("json") {
+                    println!("{}", obs::profile_json(&p));
+                } else if flags.contains_key("fold") {
+                    print!("{}", obs::render_fold(&p));
+                } else {
+                    print!("{}", obs::render_profile(&p));
+                }
+            }
         }
         "dashboard" => {
             check_flags("obs dashboard", &flags, &["store", "save", "json"]);
@@ -419,8 +475,8 @@ fn cmd_campaign(args: &[String]) {
                 });
                 eprintln!("dropped {removed} archived cells");
             }
-            let backend = match flags.get("addr").filter(|a| !a.is_empty()) {
-                Some(addr) => campaign::Backend::Daemon(addr.clone()),
+            let backend = match addr_override(&flags) {
+                Some(addr) => campaign::Backend::Daemon(addr),
                 None => campaign::Backend::InProcess,
             };
             let opts = campaign::ExecOptions { backend, stop_after: None };
@@ -551,12 +607,26 @@ fn cmd_serve(flags: &HashMap<String, String>) {
     eprintln!("cst-serve: drained and stopped");
 }
 
+/// Daemon address override from `--addr` or the `CST_ADDR` env var; the
+/// flag wins. Whichever source supplies the address is validated as
+/// `HOST:PORT` and named in the error (exit 2) when malformed.
+fn addr_override(flags: &HashMap<String, String>) -> Option<String> {
+    let (addr, source) = match flags.get("addr").filter(|a| !a.is_empty()) {
+        Some(a) => (a.clone(), "--addr"),
+        None => (std::env::var("CST_ADDR").ok().filter(|a| !a.is_empty())?, "CST_ADDR"),
+    };
+    let valid = addr
+        .rsplit_once(':')
+        .is_some_and(|(host, port)| !host.is_empty() && port.parse::<u16>().is_ok());
+    if !valid {
+        eprintln!("{source} expects HOST:PORT with a 16-bit port, got `{addr}`");
+        std::process::exit(2);
+    }
+    Some(addr)
+}
+
 fn client_addr(flags: &HashMap<String, String>) -> String {
-    flags
-        .get("addr")
-        .filter(|a| !a.is_empty())
-        .cloned()
-        .unwrap_or_else(|| ServeConfig::default().addr)
+    addr_override(flags).unwrap_or_else(|| ServeConfig::default().addr)
 }
 
 fn client_connect(flags: &HashMap<String, String>) -> Connection {
@@ -676,6 +746,135 @@ fn client_stream(conn: &mut Connection, flags: &HashMap<String, String>) {
     }
 }
 
+/// Fetch one `metrics` frame from the daemon (exit 1 on anything else).
+fn fetch_metrics_frame(addr: &str) -> String {
+    let frames =
+        cstuner::serve::roundtrip(addr, &proto::metrics_request_line()).unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(1);
+        });
+    match frames.first() {
+        Some(frame) if proto::frame_type(frame).as_deref() == Some("metrics") => frame.clone(),
+        Some(frame) => {
+            eprintln!("unexpected reply: {frame}");
+            std::process::exit(1);
+        }
+        None => {
+            eprintln!("daemon sent no reply");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// One `name value` line per numeric field of an object section.
+fn metrics_kv_section(out: &mut String, v: &Value, key: &str, title: &str) {
+    if let Some(Value::Obj(fields)) = v.get(key) {
+        if fields.is_empty() {
+            return;
+        }
+        let _ = writeln!(out, "{title}:");
+        for (name, val) in fields {
+            if let Value::Num(x) = val {
+                if *x == x.trunc() && x.abs() < 1e15 {
+                    let _ = writeln!(out, "  {name:<28} {:>12}", *x as i64);
+                } else {
+                    let _ = writeln!(out, "  {name:<28} {x:>12.3}");
+                }
+            }
+        }
+    }
+}
+
+/// One `name count p50 p95 max` line per non-empty histogram digest.
+fn metrics_hist_section(out: &mut String, v: &Value, key: &str, title: &str) {
+    if let Some(Value::Obj(fields)) = v.get(key) {
+        let live: Vec<_> = fields.iter().filter(|(_, h)| json_u64(h, "count") > 0).collect();
+        if live.is_empty() {
+            return;
+        }
+        let _ = writeln!(out, "{title}:");
+        for (name, h) in live {
+            let (p50, p95) = report::hist_percentiles(h).unwrap_or((f64::NAN, f64::NAN));
+            let _ = writeln!(
+                out,
+                "  {name:<28} count {:>8}  p50 {p50:>10.3}  p95 {p95:>10.3}  max {:>10.3}",
+                json_u64(h, "count"),
+                json_f64(h, "max")
+            );
+        }
+    }
+}
+
+/// Render a `metrics` frame as the text dashboard shared by
+/// `cstuner client metrics` and `cstuner top`.
+fn render_metrics_frame(frame: &str) -> String {
+    let v = json::parse(frame).expect("daemon frames are valid JSON");
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "cst-serve metrics v{}  uptime {:.1}s",
+        json_u64(&v, "metrics_version"),
+        json_f64(&v, "wall_uptime_ms") / 1e3
+    );
+    if let Some(s) = v.get("sessions") {
+        let _ = writeln!(
+            out,
+            "sessions: {} queued, {} running, {} done, {} failed, {} cancelled",
+            json_u64(s, "queued"),
+            json_u64(s, "running"),
+            json_u64(s, "done"),
+            json_u64(s, "failed"),
+            json_u64(s, "cancelled")
+        );
+    }
+    metrics_kv_section(&mut out, &v, "counters", "counters");
+    metrics_kv_section(&mut out, &v, "gauges", "gauges");
+    metrics_hist_section(&mut out, &v, "hists", "histograms");
+    metrics_kv_section(&mut out, &v, "wall_counters", "wall counters");
+    metrics_hist_section(&mut out, &v, "wall_hists", "request latency (wall ms)");
+    if let Some(rows) = v.get("wall_memo").and_then(Value::as_arr) {
+        if !rows.is_empty() {
+            let _ = writeln!(out, "shared memo:");
+            for m in rows {
+                let _ = writeln!(
+                    out,
+                    "  {:<28} hits {:>8}  misses {:>8}  evictions {:>6}  entries {:>8} (cap {})",
+                    format!("{}/{}", json_str(m, "stencil"), json_str(m, "arch")),
+                    json_u64(m, "hits"),
+                    json_u64(m, "misses"),
+                    json_u64(m, "evictions"),
+                    json_u64(m, "entries"),
+                    json_u64(m, "cap")
+                );
+            }
+        }
+    }
+    out
+}
+
+/// Poll the daemon's metrics every `interval_s` seconds and render the
+/// dashboard — one connection per poll, since the daemon answers one
+/// request per connection. `count` bounds the polls (`None` = forever).
+/// On a terminal each poll repaints the screen; piped output separates
+/// polls with a blank line.
+fn metrics_watch(addr: &str, interval_s: f64, count: Option<u64>) {
+    let mut polls = 0u64;
+    loop {
+        let frame = fetch_metrics_frame(addr);
+        if std::io::stdout().is_terminal() {
+            print!("\x1b[2J\x1b[H");
+        } else if polls > 0 {
+            println!();
+        }
+        print!("{}", render_metrics_frame(&frame));
+        polls += 1;
+        if count.is_some_and(|c| polls >= c) {
+            return;
+        }
+        std::thread::sleep(std::time::Duration::from_secs_f64(interval_s.max(0.05)));
+    }
+}
+
 /// `cstuner client`: talk to a running daemon.
 fn cmd_client(args: &[String]) {
     let sub = args.first().map(String::as_str).unwrap_or("");
@@ -705,15 +904,21 @@ fn cmd_client(args: &[String]) {
         }
         "status" | "cancel" => {
             check_flags(&format!("client {sub}"), &flags, &["addr", "session"]);
-            let session = client_session_id(&flags);
-            let frames = cstuner::serve::roundtrip(
-                &client_addr(&flags),
-                &proto::session_request_line(sub, session),
-            )
-            .unwrap_or_else(|e| {
-                eprintln!("{e}");
-                std::process::exit(1);
-            });
+            // `status` without --session asks for the whole-daemon
+            // summary; `cancel` always needs a target session.
+            let session = match (sub, flag_u64(&flags, "session")) {
+                ("cancel", None) => Some(client_session_id(&flags)),
+                (_, s) => s,
+            };
+            let request = match session {
+                Some(id) => proto::session_request_line(sub, id),
+                None => proto::status_summary_request_line(),
+            };
+            let frames =
+                cstuner::serve::roundtrip(&client_addr(&flags), &request).unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    std::process::exit(1);
+                });
             let Some(frame) = frames.first() else {
                 eprintln!("daemon sent no reply");
                 std::process::exit(1);
@@ -726,9 +931,48 @@ fn cmd_client(args: &[String]) {
                     json_str(&v, "state"),
                     json_u64(&v, "records")
                 ),
+                Some("status") => {
+                    let s = v.get("sessions");
+                    let count = |k: &str| s.map(|s| json_u64(s, k)).unwrap_or(0);
+                    println!(
+                        "sessions: {} queued, {} running, {} done, {} failed, {} cancelled",
+                        count("queued"),
+                        count("running"),
+                        count("done"),
+                        count("failed"),
+                        count("cancelled")
+                    );
+                    for row in v.get("list").and_then(Value::as_arr).unwrap_or(&[]) {
+                        println!(
+                            "  session {}: {} ({} records) {}/{} {} seed {}",
+                            json_u64(row, "session"),
+                            json_str(row, "state"),
+                            json_u64(row, "records"),
+                            json_str(row, "stencil"),
+                            json_str(row, "arch"),
+                            json_str(row, "tuner"),
+                            json_u64(row, "seed")
+                        );
+                    }
+                }
                 _ => {
                     eprintln!("{}", json_str(&v, "message"));
                     std::process::exit(1);
+                }
+            }
+        }
+        "metrics" => {
+            check_flags("client metrics", &flags, &["addr", "json", "watch", "interval", "count"]);
+            let addr = client_addr(&flags);
+            if flags.contains_key("watch") {
+                let interval = flag_f64(&flags, "interval").unwrap_or(2.0);
+                metrics_watch(&addr, interval, flag_u64(&flags, "count"));
+            } else {
+                let frame = fetch_metrics_frame(&addr);
+                if flags.contains_key("json") {
+                    println!("{frame}");
+                } else {
+                    print!("{}", render_metrics_frame(&frame));
                 }
             }
         }
@@ -762,10 +1006,13 @@ fn cmd_client(args: &[String]) {
             eprintln!(
                 "usage: cstuner client <command> [--addr HOST:PORT]\n  \
                  client tune [tune flags]        submit a session and stream its journal\n  \
-                 client status --session N       one-shot session state\n  \
+                 client status [--session N]     one-shot session state, or all sessions\n  \
                  client watch --session N        replay-and-follow a session's stream\n  \
                  client cancel --session N       cancel a queued or running session\n  \
-                 client shutdown                 drain in-flight sessions, stop the daemon"
+                 client metrics [--json] [--watch [--interval S] [--count N]]\n                                  \
+                 live operational metrics snapshot\n  \
+                 client shutdown                 drain in-flight sessions, stop the daemon\n\
+                 --addr falls back to the CST_ADDR env var, then the serve default"
             );
             std::process::exit(2);
         }
@@ -856,13 +1103,40 @@ fn main() {
                 }
             }
         }
+        "metrics-check" => {
+            check_flags("metrics-check", &flags, &[]);
+            let Some(path) = rest.iter().find(|a| !a.starts_with("--")) else {
+                eprintln!("usage: cstuner metrics-check <metrics.json>");
+                std::process::exit(2);
+            };
+            let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("cannot read `{path}`: {e}");
+                std::process::exit(2);
+            });
+            let Some(line) = text.lines().find(|l| !l.trim().is_empty()) else {
+                eprintln!("`{path}` is empty");
+                std::process::exit(1);
+            };
+            match cstuner::serve::validate_metrics_frame(line) {
+                Ok(()) => println!("ok: valid metrics frame"),
+                Err(e) => {
+                    eprintln!("invalid metrics frame: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
         "obs" => cmd_obs(rest),
         "campaign" => cmd_campaign(rest),
         "serve" => cmd_serve(&flags),
         "client" => cmd_client(rest),
+        "top" => {
+            check_flags("top", &flags, &["addr", "interval", "count"]);
+            let interval = flag_f64(&flags, "interval").unwrap_or(2.0);
+            metrics_watch(&client_addr(&flags), interval, flag_u64(&flags, "count"));
+        }
         _ => {
             eprintln!(
-                "usage: cstuner <list|version|tune|codegen|report|journal-check|obs|campaign|serve|client> \
+                "usage: cstuner <list|version|tune|codegen|report|journal-check|metrics-check|obs|campaign|serve|client|top> \
                  [--stencil S] [--arch a100|v100] [--budget SECONDS] [--seed N] [--tuner T] \
                  [--quick] [--journal FILE] [--out FILE] [--addr HOST:PORT]"
             );
