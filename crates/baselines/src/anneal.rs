@@ -29,11 +29,19 @@ pub struct AnnealTuner {
     pub t0_frac: f64,
     /// Geometric cooling factor per accepted-or-rejected step.
     pub alpha: f64,
+    /// Warm-start seeds walked before the baseline start.
+    pub warm: Vec<Setting>,
 }
 
 impl Default for AnnealTuner {
     fn default() -> Self {
-        AnnealTuner { pop: 32, max_iterations: u32::MAX, t0_frac: 0.3, alpha: 0.97 }
+        AnnealTuner {
+            pop: 32,
+            max_iterations: u32::MAX,
+            t0_frac: 0.3,
+            alpha: 0.97,
+            warm: Vec::new(),
+        }
     }
 }
 
@@ -44,6 +52,10 @@ impl Tuner for AnnealTuner {
 
     fn tune(&mut self, eval: &mut dyn Evaluator, seed: u64) -> Result<TuningOutcome, TuneError> {
         self.tune_with_telemetry(eval, seed, &Telemetry::noop())
+    }
+
+    fn warm_start(&mut self, seeds: Vec<Setting>) {
+        self.warm = seeds;
     }
 
     fn tune_with_telemetry(
@@ -60,6 +72,7 @@ impl Tuner for AnnealTuner {
             // fallback), so this backstop fires only if the reachable
             // space is genuinely exhausted.
             stall_limit: 10_000,
+            warm: self.warm.clone(),
         };
         drive(&mut opt, eval, &cfg, seed, tel)
     }
@@ -79,6 +92,8 @@ pub struct SaOptimizer {
     temp: f64,
     /// Settings already proposed this run.
     seen: SettingSet,
+    /// Warm-start seeds walked (in rank order) before the baseline.
+    warm: std::collections::VecDeque<Setting>,
 }
 
 /// Neighbor-proposal attempts before falling back to a random restart.
@@ -94,6 +109,7 @@ impl SaOptimizer {
             cur: None,
             temp: 0.0,
             seen: SettingSet::default(),
+            warm: std::collections::VecDeque::new(),
         }
     }
 
@@ -145,13 +161,27 @@ impl Optimizer for SaOptimizer {
     }
 
     fn init(&mut self, _ctx: &mut SearchCtx<'_>, seed: u64, _tel: &Telemetry) {
+        // `warm` survives init: the kernel offers seeds first, then inits.
         self.rng = StdRng::seed_from_u64(seed ^ 0x0a11_ea1e);
         self.cur = None;
         self.temp = 0.0;
         self.seen.clear();
     }
 
+    fn warm_start(&mut self, seeds: &[Setting]) {
+        self.warm = seeds.iter().copied().collect();
+    }
+
     fn ask(&mut self, ctx: &mut SearchCtx<'_>) -> Vec<Setting> {
+        // Drain warm-start seeds first (rank order): the walk then starts
+        // its Metropolis chain from the best measurement among them.
+        while let Some(mut s) = self.warm.pop_front() {
+            ctx.space().canonicalize(&mut s);
+            if ctx.is_valid(&s) && !self.seen.contains(&s) {
+                self.seen.insert(s);
+                return vec![s];
+            }
+        }
         let s = match self.cur {
             None => {
                 // Start from the canonical baseline when it is valid —

@@ -11,7 +11,7 @@
 //! and keeps only the forest's top picks. Before enough records exist
 //! it degrades gracefully to random search.
 
-use cst_ml::{RandomForest, RandomForestConfig};
+use cst_ml::Surrogate;
 use cst_space::{Setting, N_PARAMS};
 use cst_telemetry::Telemetry;
 use cstuner_core::{
@@ -32,11 +32,24 @@ pub struct ForestTuner {
     pub pool_factor: usize,
     /// Told records required before the forest starts ranking.
     pub min_train: usize,
+    /// Warm-start seeds served as the first ask.
+    pub warm: Vec<Setting>,
+    /// Pre-trained surrogate (from the transfer KB) that ranks the pool
+    /// before enough online records exist. `None` = cold start degrades
+    /// to random search exactly as before.
+    pub pretrained: Option<Surrogate>,
 }
 
 impl Default for ForestTuner {
     fn default() -> Self {
-        ForestTuner { pop: 32, max_iterations: u32::MAX, pool_factor: 4, min_train: 32 }
+        ForestTuner {
+            pop: 32,
+            max_iterations: u32::MAX,
+            pool_factor: 4,
+            min_train: 32,
+            warm: Vec::new(),
+            pretrained: None,
+        }
     }
 }
 
@@ -49,6 +62,10 @@ impl Tuner for ForestTuner {
         self.tune_with_telemetry(eval, seed, &Telemetry::noop())
     }
 
+    fn warm_start(&mut self, seeds: Vec<Setting>) {
+        self.warm = seeds;
+    }
+
     fn tune_with_telemetry(
         &mut self,
         eval: &mut dyn Evaluator,
@@ -56,6 +73,9 @@ impl Tuner for ForestTuner {
         tel: &Telemetry,
     ) -> Result<TuningOutcome, TuneError> {
         let mut opt = ForestOptimizer::new(self.pop, self.pool_factor, self.min_train);
+        if let Some(pre) = self.pretrained.clone() {
+            opt = opt.with_pretrained(pre);
+        }
         let cfg = KernelConfig {
             pop: self.pop,
             max_iterations: self.max_iterations,
@@ -63,6 +83,7 @@ impl Tuner for ForestTuner {
             // so fresh settings keep arriving; the backstop only fires on
             // a space small enough to memoize completely.
             stall_limit: 10_000,
+            warm: self.warm.clone(),
         };
         drive(&mut opt, eval, &cfg, seed, tel)
     }
@@ -81,6 +102,10 @@ pub struct ForestOptimizer {
     rng: StdRng,
     /// (features, measured ms) for every finite told evaluation.
     records: Vec<([f64; N_PARAMS], f64)>,
+    /// Warm-start seeds served as the first ask.
+    warm: Vec<Setting>,
+    /// KB-trained surrogate used below `min_train` instead of random.
+    pretrained: Option<Surrogate>,
 }
 
 impl ForestOptimizer {
@@ -93,19 +118,27 @@ impl ForestOptimizer {
             min_train: min_train.max(2),
             rng: StdRng::seed_from_u64(0),
             records: Vec::new(),
+            warm: Vec::new(),
+            pretrained: None,
         }
     }
 
-    /// Fit a fast/slow classifier on the record window (Garvey's q30
-    /// labeling) and return P(fast) per pool candidate.
+    /// Attach a pre-trained surrogate (transfer KB path): it ranks the
+    /// candidate pool during the cold-start window where the online path
+    /// would fall back to random search.
+    pub fn with_pretrained(mut self, surrogate: Surrogate) -> Self {
+        self.pretrained = Some(surrogate);
+        self
+    }
+
+    /// Fit a fast/slow surrogate on the record window (Garvey's q30
+    /// labeling, shared via [`cst_ml::Surrogate`]) and return P(fast)
+    /// per pool candidate.
     fn rank_scores(&mut self, pool: &[Setting]) -> Vec<f64> {
-        let mut times: Vec<f64> = self.records.iter().map(|r| r.1).collect();
-        times.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        let q30 = times[(times.len() as f64 * 0.3) as usize];
+        let times: Vec<f64> = self.records.iter().map(|r| r.1).collect();
         let xs: Vec<Vec<f64>> = self.records.iter().map(|r| r.0.to_vec()).collect();
-        let ys: Vec<usize> = self.records.iter().map(|r| usize::from(r.1 <= q30)).collect();
-        let forest = RandomForest::fit(&xs, &ys, 2, &RandomForestConfig::default(), &mut self.rng);
-        pool.iter().map(|s| forest.predict_proba(&s.features())[1]).collect()
+        let surrogate = Surrogate::fit(&xs, &times, &mut self.rng).expect("min_train >= 2 records");
+        pool.iter().map(|s| surrogate.score(&s.features())).collect()
     }
 }
 
@@ -115,14 +148,45 @@ impl Optimizer for ForestOptimizer {
     }
 
     fn init(&mut self, _ctx: &mut SearchCtx<'_>, seed: u64, _tel: &Telemetry) {
+        // `warm` and `pretrained` survive init: the kernel offers seeds
+        // first, then inits.
         self.rng = StdRng::seed_from_u64(seed ^ 0x0f0e_e57a);
         self.records.clear();
     }
 
+    fn warm_start(&mut self, seeds: &[Setting]) {
+        self.warm = seeds.to_vec();
+    }
+
     fn ask(&mut self, ctx: &mut SearchCtx<'_>) -> Vec<Setting> {
+        // Warm-start seeds form the first asks (rank order, validity
+        // re-checked against this evaluator), before any pool draw.
+        if !self.warm.is_empty() {
+            let warm = std::mem::take(&mut self.warm);
+            let firsts: Vec<Setting> = warm
+                .into_iter()
+                .map(|mut s| {
+                    ctx.space().canonicalize(&mut s);
+                    s
+                })
+                .filter(|s| ctx.is_valid(s))
+                .take(self.pop)
+                .collect();
+            if !firsts.is_empty() {
+                return firsts;
+            }
+        }
         let pool: Vec<Setting> =
             (0..self.pop * self.pool_factor).map(|_| ctx.random_valid()).collect();
         if self.records.len() < self.min_train {
+            if let Some(pre) = &self.pretrained {
+                // Transfer path: the KB surrogate ranks the pool during
+                // the window the online path would explore at random.
+                let scores: Vec<f64> = pool.iter().map(|s| pre.score(&s.features())).collect();
+                let mut order: Vec<usize> = (0..pool.len()).collect();
+                order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).unwrap().then(a.cmp(&b)));
+                return order.into_iter().take(self.pop).map(|i| pool[i]).collect();
+            }
             // Cold start: plain random search until the forest has data.
             return pool.into_iter().take(self.pop).collect();
         }

@@ -12,7 +12,7 @@
 //! low quality of the sampled search space").
 
 use crate::common::Recorder;
-use cst_ml::{RandomForest, RandomForestConfig};
+use cst_ml::Surrogate;
 use cst_space::{ParamId, Setting};
 use cst_telemetry::Telemetry;
 use cstuner_core::{Evaluator, PerfDataset, TuneError, Tuner, TuningOutcome};
@@ -86,21 +86,18 @@ impl Tuner for GarveyTuner {
         // dataset, not charged to the tuning clock).
         let dataset = PerfDataset::collect(eval, self.dataset_size, seed);
 
-        // Train the forest to recognize fast settings from their features,
-        // then pick the memory class with the highest predicted-fast vote.
-        let mut times = dataset.times();
-        times.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        let q30 = times[(times.len() as f64 * 0.3) as usize];
+        // Train the shared fast/slow surrogate (q30 labeling lives in
+        // cst_ml::Surrogate now), then pick the memory class with the
+        // highest predicted-fast vote.
+        let times = dataset.times();
         let xs: Vec<Vec<f64>> =
             dataset.records.iter().map(|r| r.setting.features().to_vec()).collect();
-        let ys: Vec<usize> =
-            dataset.records.iter().map(|r| usize::from(r.time_ms <= q30)).collect();
-        let forest = RandomForest::fit(&xs, &ys, 2, &RandomForestConfig::default(), &mut rng);
+        let surrogate = Surrogate::fit(&xs, &times, &mut rng).expect("dataset has records");
         let mut class_score = [0.0f64; 4];
         let mut class_n = [0usize; 4];
         for r in &dataset.records {
             let c = memory_class(&r.setting);
-            class_score[c] += forest.predict_proba(&r.setting.features())[1];
+            class_score[c] += surrogate.score(&r.setting.features());
             class_n[c] += 1;
         }
         let best_class = (0..4)

@@ -54,6 +54,9 @@ impl Tuner for GridSearch {
             // Backstop only: the seen-filter below already guarantees
             // every asked setting is new to this run.
             stall_limit: 10_000,
+            // Grid sweeps visit the lattice exhaustively; warm-start
+            // seeds would only reorder coverage, so none are taken.
+            warm: Vec::new(),
         };
         drive(&mut opt, eval, &cfg, seed, tel)
     }

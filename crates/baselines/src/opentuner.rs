@@ -31,11 +31,13 @@ pub struct OpenTunerGa {
     pub ga: GaConfig,
     /// Iteration cap.
     pub max_iterations: u32,
+    /// Warm-start seeds folded into the initial population.
+    pub warm: Vec<Setting>,
 }
 
 impl Default for OpenTunerGa {
     fn default() -> Self {
-        OpenTunerGa { ga: GaConfig::default(), max_iterations: u32::MAX }
+        OpenTunerGa { ga: GaConfig::default(), max_iterations: u32::MAX, warm: Vec::new() }
     }
 }
 
@@ -134,6 +136,10 @@ impl Tuner for OpenTunerGa {
         self.tune_with_telemetry(eval, seed, &Telemetry::noop())
     }
 
+    fn warm_start(&mut self, seeds: Vec<Setting>) {
+        self.warm = seeds;
+    }
+
     fn tune_with_telemetry(
         &mut self,
         eval: &mut dyn Evaluator,
@@ -144,6 +150,7 @@ impl Tuner for OpenTunerGa {
         let cfg = KernelConfig {
             pop: self.ga.n_islands * self.ga.pop_per_island,
             max_iterations: self.max_iterations,
+            warm: self.warm.clone(),
             ..KernelConfig::default()
         };
         drive(&mut opt, eval, &cfg, seed, tel)
@@ -175,12 +182,21 @@ pub struct GaOptimizer {
     pending: usize,
     /// Fitnesses accumulated across (possibly chunked) tells.
     acc: Vec<f64>,
+    /// Warm-start seeds folded into the initial population.
+    warm: Vec<Setting>,
 }
 
 impl GaOptimizer {
     /// New adapter with the given GA options (state is built in `init`).
     pub fn new(ga: GaConfig) -> Self {
-        GaOptimizer { ga, state: None, phase: GaPhase::PreBreed, pending: 0, acc: Vec::new() }
+        GaOptimizer {
+            ga,
+            state: None,
+            phase: GaPhase::PreBreed,
+            pending: 0,
+            acc: Vec::new(),
+            warm: Vec::new(),
+        }
     }
 
     /// Balance the ledger for the just-completed phase and advance the
@@ -206,6 +222,10 @@ impl Optimizer for GaOptimizer {
         "OpenTuner"
     }
 
+    fn warm_start(&mut self, seeds: &[Setting]) {
+        self.warm = seeds.to_vec();
+    }
+
     fn init(&mut self, ctx: &mut SearchCtx<'_>, seed: u64, tel: &Telemetry) {
         let cards: Vec<u32> =
             ParamId::ALL.iter().map(|&p| ctx.space().values(p).len() as u32).collect();
@@ -222,7 +242,23 @@ impl Optimizer for GaOptimizer {
                 .collect()
         };
         let mut seeds = vec![encode(ctx, &Setting::baseline())];
-        for _ in 1..pop {
+        // Warm-start seeds join right after the baseline (capped at
+        // pop−1, skipping any not encodable on this space's value
+        // lists); the rest of the population stays random draws, so a
+        // cold run consumes the evaluator's stream exactly as before.
+        let warm = std::mem::take(&mut self.warm);
+        for mut s in warm {
+            if seeds.len() >= pop {
+                break;
+            }
+            ctx.space().canonicalize(&mut s);
+            let encodable =
+                ParamId::ALL.iter().all(|&p| ctx.space().value_index(p, s.get(p)).is_some());
+            if encodable {
+                seeds.push(encode(ctx, &s));
+            }
+        }
+        while seeds.len() < pop {
             let s = ctx.random_valid();
             seeds.push(encode(ctx, &s));
         }

@@ -15,11 +15,13 @@ pub struct RandomSearch {
     pub pop: usize,
     /// Iteration cap.
     pub max_iterations: u32,
+    /// Warm-start seeds served in the first population.
+    pub warm: Vec<Setting>,
 }
 
 impl Default for RandomSearch {
     fn default() -> Self {
-        RandomSearch { pop: 32, max_iterations: u32::MAX }
+        RandomSearch { pop: 32, max_iterations: u32::MAX, warm: Vec::new() }
     }
 }
 
@@ -32,16 +34,21 @@ impl Tuner for RandomSearch {
         self.tune_with_telemetry(eval, seed, &Telemetry::noop())
     }
 
+    fn warm_start(&mut self, seeds: Vec<Setting>) {
+        self.warm = seeds;
+    }
+
     fn tune_with_telemetry(
         &mut self,
         eval: &mut dyn Evaluator,
         seed: u64,
         tel: &Telemetry,
     ) -> Result<TuningOutcome, TuneError> {
-        let mut opt = RandomOptimizer { pop: self.pop };
+        let mut opt = RandomOptimizer { pop: self.pop, ..RandomOptimizer::default() };
         let cfg = KernelConfig {
             pop: self.pop,
             max_iterations: self.max_iterations,
+            warm: self.warm.clone(),
             ..KernelConfig::default()
         };
         drive(&mut opt, eval, &cfg, seed, tel)
@@ -56,11 +63,14 @@ impl Tuner for RandomSearch {
 pub struct RandomOptimizer {
     /// Draws per ask (matched to the recorded iteration size).
     pub pop: usize,
+    /// Warm-start seeds served as the first ask (instead of random
+    /// draws, keeping the post-warm draw stream aligned with cold runs).
+    pub warm: Vec<Setting>,
 }
 
 impl Default for RandomOptimizer {
     fn default() -> Self {
-        RandomOptimizer { pop: 32 }
+        RandomOptimizer { pop: 32, warm: Vec::new() }
     }
 }
 
@@ -69,7 +79,26 @@ impl Optimizer for RandomOptimizer {
         "Random"
     }
 
+    fn warm_start(&mut self, seeds: &[Setting]) {
+        self.warm = seeds.to_vec();
+    }
+
     fn ask(&mut self, ctx: &mut SearchCtx<'_>) -> Vec<Setting> {
+        if !self.warm.is_empty() {
+            let warm = std::mem::take(&mut self.warm);
+            let firsts: Vec<Setting> = warm
+                .into_iter()
+                .map(|mut s| {
+                    ctx.space().canonicalize(&mut s);
+                    s
+                })
+                .filter(|s| ctx.is_valid(s))
+                .take(self.pop)
+                .collect();
+            if !firsts.is_empty() {
+                return firsts;
+            }
+        }
         (0..self.pop).map(|_| ctx.random_valid()).collect()
     }
 
@@ -86,7 +115,7 @@ mod tests {
     #[test]
     fn random_search_finds_finite_best() {
         let mut e = SimEvaluator::new(suite::spec_by_name("cheby").unwrap(), GpuArch::a100(), 3);
-        let mut t = RandomSearch { pop: 8, max_iterations: 5 };
+        let mut t = RandomSearch { pop: 8, max_iterations: 5, ..Default::default() };
         let out = t.tune(&mut e, 3).unwrap();
         assert_eq!(out.tuner, "Random");
         assert!(out.best_time_ms.is_finite());

@@ -440,6 +440,7 @@ mod tests {
             stages: vec![StageCost { name: "search".into(), v_cost_s: 5.0 }],
             counters: vec![],
             hists: vec![],
+            samples: vec![],
         }
     }
 

@@ -43,8 +43,18 @@ use cst_telemetry::json::{self, Value};
 use std::fmt::Write as _;
 
 /// Every key a campaign spec may carry.
-pub const SPEC_KEYS: [&str; 9] =
-    ["campaign", "stencils", "archs", "tuners", "budgets_s", "seeds", "repeats", "quick", "fault"];
+pub const SPEC_KEYS: [&str; 10] = [
+    "campaign",
+    "stencils",
+    "archs",
+    "tuners",
+    "budgets_s",
+    "seeds",
+    "repeats",
+    "quick",
+    "fault",
+    "warm",
+];
 
 /// Version folded into every cell identity hash. Bump when the identity
 /// fields or their encoding change, so stale archives re-run instead of
@@ -73,6 +83,10 @@ pub struct CampaignSpec {
     pub quick: bool,
     /// Fault knob for every cell; `None` follows the environment.
     pub fault: Option<FaultSpec>,
+    /// Warm-start knob for every cell: a journal-store directory whose
+    /// `kb.json` seeds each session (see `cst-transfer`). `None` — the
+    /// default — runs every cell cold.
+    pub warm: Option<String>,
 }
 
 fn str_list(v: &Value, key: &str) -> Result<Option<Vec<String>>, String> {
@@ -229,6 +243,12 @@ impl CampaignSpec {
             (None, None) => vec![0],
         };
         let fault = parse_fault(&v)?;
+        let warm = match v.get("warm") {
+            None | Some(Value::Null) => None,
+            Some(Value::Str(s)) if !s.is_empty() => Some(s.clone()),
+            Some(Value::Str(_)) => return Err("`warm` must be a non-empty store path".to_string()),
+            Some(x) => return Err(format!("`warm` must be a string store path, got {}", x.kind())),
+        };
         reject_duplicates("stencils", &stencils)?;
         reject_duplicates("archs", &archs)?;
         reject_duplicates("tuners", &tuners)?;
@@ -243,6 +263,7 @@ impl CampaignSpec {
             seeds,
             quick,
             fault,
+            warm,
         };
         // Expand eagerly: a spec that parses is runnable, and invalid
         // axis values surface here with the CLI's own messages.
@@ -292,6 +313,11 @@ impl CampaignSpec {
                 let _ = write!(o, ",\"fault\":{{\"seed\":{seed}}}");
             }
         }
+        // Conditional so cold specs keep their legacy canonical bytes.
+        if let Some(warm) = &self.warm {
+            o.push_str(",\"warm\":");
+            json::write_escaped(&mut o, warm);
+        }
         o.push('}');
         o
     }
@@ -308,7 +334,7 @@ impl CampaignSpec {
                 for tuner in &self.tuners {
                     for &budget in &self.budgets_s {
                         for &seed in &self.seeds {
-                            let request = TuneRequest::build(
+                            let mut request = TuneRequest::build(
                                 Some(stencil),
                                 Some(arch),
                                 Some(tuner),
@@ -317,6 +343,7 @@ impl CampaignSpec {
                                 self.quick,
                                 self.fault,
                             )?;
+                            request.warm = self.warm.clone();
                             cells.push(Cell::new(request));
                         }
                     }
@@ -388,6 +415,13 @@ impl Cell {
                 fnv_bytes(&mut h, &[2]);
                 fnv_u64(&mut h, seed);
             }
+        }
+        // Folded only when present, so cold cells keep the ids (hence
+        // archive names) they had before the warm knob existed.
+        if let Some(warm) = &request.warm {
+            fnv_bytes(&mut h, &[3]);
+            fnv_u64(&mut h, warm.len() as u64);
+            fnv_bytes(&mut h, warm.as_bytes());
         }
         Cell { request, id: h }
     }
@@ -550,6 +584,33 @@ mod tests {
         let mut tweaked = spec.clone();
         tweaked.fault = None;
         assert_ne!(base[0].id, tweaked.cells().unwrap()[0].id);
+        let mut tweaked = spec.clone();
+        tweaked.warm = Some("results/obs".to_string());
+        assert_ne!(base[0].id, tweaked.cells().unwrap()[0].id);
+    }
+
+    #[test]
+    fn warm_knob_parses_round_trips_and_reaches_every_cell() {
+        // Absent warm: field defaults to None and stays out of the
+        // canonical JSON, so pre-warm specs keep their exact bytes.
+        let cold = CampaignSpec::from_json(&smoke_text()).unwrap();
+        assert_eq!(cold.warm, None);
+        assert!(!cold.to_json().contains("warm"));
+        let text = r#"{"campaign":"w","stencils":["j3d7pt"],"warm":"results/obs"}"#;
+        let spec = CampaignSpec::from_json(text).unwrap();
+        assert_eq!(spec.warm.as_deref(), Some("results/obs"));
+        let j = spec.to_json();
+        assert!(j.contains("\"warm\":\"results/obs\""), "{j}");
+        assert_eq!(CampaignSpec::from_json(&j).unwrap(), spec);
+        for cell in spec.cells().unwrap() {
+            assert_eq!(cell.request.warm.as_deref(), Some("results/obs"));
+        }
+        let err = CampaignSpec::from_json(r#"{"campaign":"w","stencils":["j3d7pt"],"warm":""}"#)
+            .unwrap_err();
+        assert!(err.contains("non-empty"), "{err}");
+        let err = CampaignSpec::from_json(r#"{"campaign":"w","stencils":["j3d7pt"],"warm":3}"#)
+            .unwrap_err();
+        assert!(err.contains("must be a string"), "{err}");
     }
 
     #[test]

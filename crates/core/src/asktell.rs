@@ -121,10 +121,19 @@ pub trait Optimizer {
     fn asks_valid_only(&self) -> bool {
         true
     }
+
+    /// Offer warm-start seeds (surrogate-ranked settings from the
+    /// transfer knowledge base) before [`Optimizer::init`]. Strategies
+    /// that support seeding fold them into their starting points; the
+    /// default ignores them. The kernel only calls this with a non-empty
+    /// slice, so a run without seeds takes exactly the legacy code path
+    /// (see the determinism contract: warm-start changes starting points,
+    /// never the evaluator or the measurement stream).
+    fn warm_start(&mut self, _seeds: &[Setting]) {}
 }
 
 /// Driver knobs for one [`drive`] run.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct KernelConfig {
     /// Evaluations per recorded iteration (csTuner's population-size
     /// accounting, §V-A2).
@@ -139,11 +148,15 @@ pub struct KernelConfig {
     /// always reach fresh settings — while model-guided strategies set a
     /// finite limit as a liveness backstop.
     pub stall_limit: u64,
+    /// Warm-start seeds handed to [`Optimizer::warm_start`] before
+    /// `init`. Empty (the default) means a cold start and is guaranteed
+    /// bit-identical to a build without warm-start support.
+    pub warm: Vec<Setting>,
 }
 
 impl Default for KernelConfig {
     fn default() -> Self {
-        KernelConfig { pop: 32, max_iterations: u32::MAX, stall_limit: u64::MAX }
+        KernelConfig { pop: 32, max_iterations: u32::MAX, stall_limit: u64::MAX, warm: Vec::new() }
     }
 }
 
@@ -167,6 +180,9 @@ pub fn drive(
 ) -> Result<TuningOutcome, TuneError> {
     let mut rec = Recorder::new(cfg.pop, cfg.max_iterations).with_telemetry(tel);
     let span = tel.span("search", eval.clock().now_s());
+    if !cfg.warm.is_empty() {
+        opt.warm_start(&cfg.warm);
+    }
     opt.init(&mut SearchCtx::new(eval), seed, tel);
     let mut stalled: u64 = 0;
     loop {
@@ -219,7 +235,16 @@ pub struct Recorder {
     curve: Vec<CurvePoint>,
     max_iterations: u32,
     tel: Telemetry,
+    samples: Vec<(Setting, f64)>,
+    sample_stride: u64,
+    fresh_finite: u64,
 }
+
+/// Cap on the (setting, time) training pairs journaled per run. The log
+/// thins itself by stride doubling — keep every `stride`-th fresh finite
+/// evaluation, compacting to every other retained sample when full — so
+/// it stays a bounded, deterministic systematic sample of the whole run.
+const SAMPLE_CAP: usize = 48;
 
 impl Recorder {
     /// New recorder with the iteration batch size and iteration cap.
@@ -234,6 +259,9 @@ impl Recorder {
             curve: Vec::new(),
             max_iterations,
             tel: Telemetry::noop(),
+            samples: Vec::new(),
+            sample_stride: 1,
+            fresh_finite: 0,
         }
     }
 
@@ -258,6 +286,18 @@ impl Recorder {
         // evaluations advance the iteration counter.
         if eval.unique_evaluations() > before {
             self.in_iter += 1;
+            if t.is_finite() {
+                if self.fresh_finite.is_multiple_of(self.sample_stride) {
+                    self.samples.push((s, t));
+                    if self.samples.len() >= SAMPLE_CAP {
+                        let kept: Vec<(Setting, f64)> =
+                            self.samples.iter().step_by(2).copied().collect();
+                        self.samples = kept;
+                        self.sample_stride *= 2;
+                    }
+                }
+                self.fresh_finite += 1;
+            }
         }
         if self.in_iter >= self.pop {
             self.in_iter = 0;
@@ -309,6 +349,18 @@ impl Recorder {
         self.best_setting
     }
 
+    /// The retained (setting, time) training pairs, in evaluation order,
+    /// with the incumbent best guaranteed present.
+    pub fn samples(&self) -> Vec<(Setting, f64)> {
+        let mut out = self.samples.clone();
+        if let Some(best) = self.best_setting {
+            if self.best_ms.is_finite() && !out.iter().any(|(s, _)| *s == best) {
+                out.push((best, self.best_ms));
+            }
+        }
+        out
+    }
+
     /// Finalize into a [`TuningOutcome`].
     pub fn finish(
         mut self,
@@ -334,6 +386,14 @@ impl Recorder {
         let best_setting = self.best_setting.ok_or(TuneError::BudgetTooSmall)?;
         if !self.best_ms.is_finite() {
             return Err(TuneError::EmptySpace);
+        }
+        // Journal the retained training pairs so archived runs carry the
+        // (setting, time) records the transfer knowledge base learns from.
+        if self.tel.enabled() {
+            for (s, t) in self.samples() {
+                let label = s.to_string();
+                event!(self.tel, "sample", setting = &label, time_ms = t);
+            }
         }
         Ok(TuningOutcome {
             tuner: name,
@@ -427,6 +487,38 @@ mod tests {
             Vec::new()
         }
         fn tell(&mut self, _obs: &[Observation]) {}
+    }
+
+    #[test]
+    fn recorder_sample_log_is_bounded_and_keeps_the_best() {
+        let mut e = SimEvaluator::new(suite::spec_by_name("j3d7pt").unwrap(), GpuArch::a100(), 5);
+        let mut r = Recorder::new(8, 1000);
+        for _ in 0..500 {
+            let s = e.random_valid();
+            r.measure(&mut e, s);
+        }
+        let samples = r.samples();
+        assert!(!samples.is_empty() && samples.len() <= SAMPLE_CAP);
+        let best = r.best_setting().unwrap();
+        assert!(samples.iter().any(|(s, t)| *s == best && *t == r.best_ms()));
+        assert!(samples.iter().all(|(_, t)| t.is_finite()));
+    }
+
+    #[test]
+    fn recorder_sample_log_is_deterministic() {
+        let run = || {
+            let mut e =
+                SimEvaluator::new(suite::spec_by_name("j3d7pt").unwrap(), GpuArch::a100(), 6);
+            let mut r = Recorder::new(8, 1000);
+            for _ in 0..200 {
+                let s = e.random_valid();
+                r.measure(&mut e, s);
+            }
+            r.samples()
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.len(), b.len());
+        assert!(a.iter().zip(&b).all(|(x, y)| x.0 == y.0 && x.1.to_bits() == y.1.to_bits()));
     }
 
     #[test]

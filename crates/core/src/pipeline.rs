@@ -116,6 +116,15 @@ pub trait Tuner {
     /// stochastic choices.
     fn tune(&mut self, eval: &mut dyn Evaluator, seed: u64) -> Result<TuningOutcome, TuneError>;
 
+    /// Offer surrogate-ranked warm-start seeds for the next `tune` call.
+    /// Tuners built on the ask/tell kernel forward them through
+    /// [`KernelConfig::warm`](crate::KernelConfig); the default ignores
+    /// them, so tuners without a seeding notion (grid sweeps, the staged
+    /// csTuner pipeline) remain valid implementations.
+    fn warm_start(&mut self, seeds: Vec<Setting>) {
+        let _ = seeds;
+    }
+
     /// [`Tuner::tune`] with a telemetry handle: instrumented tuners
     /// journal their stages, iterations and counters through `tel`.
     /// The default ignores the handle and runs the plain `tune`, so

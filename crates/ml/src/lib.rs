@@ -9,7 +9,9 @@
 //! feature subsets, majority-vote prediction.
 
 pub mod forest;
+pub mod surrogate;
 pub mod tree;
 
 pub use forest::{RandomForest, RandomForestConfig};
+pub use surrogate::{fast_threshold, Surrogate, FAST_QUANTILE};
 pub use tree::{DecisionTree, TreeConfig};

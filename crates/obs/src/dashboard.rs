@@ -166,6 +166,7 @@ mod tests {
                 p50: 2.5,
                 p95: 7.5,
             }],
+            samples: vec![],
         }
     }
 

@@ -292,6 +292,7 @@ mod tests {
             ],
             counters: vec![("evals_attempted".into(), 128)],
             hists: vec![],
+            samples: vec![],
         }
     }
 

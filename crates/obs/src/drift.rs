@@ -299,6 +299,7 @@ mod tests {
             stages: vec![StageCost { name: "search".into(), v_cost_s: 9.5 }],
             counters: vec![("evals_attempted".into(), 128)],
             hists: vec![],
+            samples: vec![],
         }
     }
 

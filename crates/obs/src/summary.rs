@@ -112,6 +112,11 @@ pub struct RunSummary {
     pub counters: Vec<(String, u64)>,
     /// Histogram condensates, in journal order.
     pub hists: Vec<HistSummary>,
+    /// Sampled (setting, time_ms) training pairs from the run's `sample`
+    /// records, in journal order — the transfer knowledge base mines
+    /// these. Empty for journals predating the record type (optional
+    /// field, no version bump per the rule above).
+    pub samples: Vec<(String, f64)>,
 }
 
 impl RunSummary {
@@ -252,6 +257,18 @@ pub fn summarize(source: &str, lines: &[String]) -> Result<RunSummary, String> {
         }
     }
 
+    // Sampled training pairs for the transfer knowledge base. A null
+    // time (non-finite measurement) reads back as INFINITY and is
+    // filtered by KB extraction, not here.
+    let samples: Vec<(String, f64)> = of_type("sample")
+        .iter()
+        .map(|r| {
+            let setting = r.get("setting").and_then(Value::as_str).unwrap_or("?").to_string();
+            let t = num(r, "time_ms").unwrap_or(f64::INFINITY);
+            (setting, t)
+        })
+        .collect();
+
     let attempted = counters_rec.map(|c| uint(c, "evals_attempted")).unwrap_or(0);
     let hits = counters_rec.map(|c| uint(c, "memo_hits")).unwrap_or(0);
     let misses = counters_rec.map(|c| uint(c, "memo_misses")).unwrap_or(0);
@@ -290,6 +307,7 @@ pub fn summarize(source: &str, lines: &[String]) -> Result<RunSummary, String> {
         stages,
         counters,
         hists,
+        samples,
     })
 }
 
@@ -374,7 +392,24 @@ impl RunSummary {
             }
             o.push('}');
         }
-        o.push_str("]}");
+        o.push(']');
+        // Conditional so sample-free summaries keep the bytes they had
+        // before the field existed (committed baselines stay valid).
+        if !self.samples.is_empty() {
+            o.push_str(",\"samples\":[");
+            for (i, (setting, t)) in self.samples.iter().enumerate() {
+                if i > 0 {
+                    o.push(',');
+                }
+                o.push_str("{\"setting\":");
+                json::write_escaped(&mut o, setting);
+                o.push_str(",\"time_ms\":");
+                json::write_f64(&mut o, *t);
+                o.push('}');
+            }
+            o.push(']');
+        }
+        o.push('}');
         o
     }
 
@@ -432,6 +467,15 @@ impl RunSummary {
                 p95: f(h, "p95", f64::NAN),
             });
         }
+        // `samples` is optional: summaries written before the field
+        // existed parse to an empty log.
+        let mut samples = Vec::new();
+        for r in v.get("samples").and_then(Value::as_arr).unwrap_or(&[]) {
+            samples.push((
+                r.get("setting").and_then(Value::as_str).unwrap_or("?").to_string(),
+                f(r, "time_ms", f64::INFINITY),
+            ));
+        }
         Ok(RunSummary {
             version,
             source: s("source"),
@@ -452,6 +496,7 @@ impl RunSummary {
             stages,
             counters,
             hists,
+            samples,
         })
     }
 }
@@ -478,6 +523,8 @@ mod tests {
         event!(tel, "iteration", iteration = 2u32, v_s = 5.0, best_ms = 4.4, evals = 64u32);
         event!(tel, "iteration", iteration = 3u32, v_s = 9.0, best_ms = 4.0, evals = 96u32);
         sp.end(9.5);
+        event!(tel, "sample", setting = "TB_x=32 TB_y=4", time_ms = 4.4);
+        event!(tel, "sample", setting = "TB_x=64 TB_y=2", time_ms = 4.0);
         event!(
             tel,
             "outcome",
@@ -526,6 +573,23 @@ mod tests {
         let h = s.hists.iter().find(|h| h.name == "eval_time_ms").unwrap();
         assert_eq!(h.count, 4);
         assert!(h.p50 > 0.0 && h.p50 <= h.p95 && h.p95 <= h.max);
+        assert_eq!(
+            s.samples,
+            vec![("TB_x=32 TB_y=4".to_string(), 4.4), ("TB_x=64 TB_y=2".to_string(), 4.0)]
+        );
+    }
+
+    #[test]
+    fn summaries_without_samples_still_parse() {
+        // Backward compatibility: pre-transfer summaries lack the field.
+        let s = summarize("fixed", &fixed_journal()).unwrap();
+        let j = s.to_json();
+        let start = j.find(",\"samples\":[").unwrap();
+        let end = j[start..].find(']').unwrap() + start + 1;
+        let legacy = format!("{}{}", &j[..start], &j[end..]);
+        let back = RunSummary::from_json(&legacy).unwrap();
+        assert!(back.samples.is_empty());
+        assert_eq!(back.best_ms, s.best_ms);
     }
 
     #[test]

@@ -22,6 +22,7 @@ use cst_gpu_sim::registry::{shared_memo_stats, SharedMemoStats};
 use cst_obs::JournalStore;
 use cst_telemetry::metrics::{CounterHandle, MetricsRegistry, MetricsSnapshot};
 use cst_telemetry::{strip_wall_fields, Telemetry};
+use cst_transfer::KnowledgeBase;
 use cstuner_core::CancelToken;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::sync::{Arc, Condvar, Mutex};
@@ -308,6 +309,8 @@ pub struct SessionManager {
     metrics: MetricsRegistry,
     admission_accepted: CounterHandle,
     admission_busy: CounterHandle,
+    warm_kb_hit: CounterHandle,
+    warm_kb_miss: CounterHandle,
     started: Instant,
 }
 
@@ -318,11 +321,17 @@ impl SessionManager {
         let metrics = MetricsRegistry::new();
         let admission_accepted = metrics.counter("admission_accepted");
         let admission_busy = metrics.counter("admission_busy");
+        // Warm-start resolution: hit = the knowledge base produced seeds,
+        // miss = the knob was set but resolved to nothing (empty store,
+        // unknown stencil, unreadable index).
+        let warm_kb_hit = metrics.counter("warm_kb_hit");
+        let warm_kb_miss = metrics.counter("warm_kb_miss");
         // Register the point-in-time gauges up front so an idle daemon's
         // snapshot still lists them (at zero).
         metrics.gauge("queue_depth");
         metrics.gauge("sessions_running");
         metrics.gauge("watchers");
+        metrics.gauge("warm_kb_train");
         Arc::new(SessionManager {
             limits,
             archive,
@@ -340,6 +349,8 @@ impl SessionManager {
             metrics,
             admission_accepted,
             admission_busy,
+            warm_kb_hit,
+            warm_kb_miss,
             started: Instant::now(),
         })
     }
@@ -531,6 +542,14 @@ impl SessionManager {
         match run_session(&session.request, &tel, Some(session.cancel.clone())) {
             Ok(outcome) => {
                 let done = DoneInfo::new(&outcome);
+                if let Some(w) = &outcome.warm {
+                    if w.seeds > 0 {
+                        self.warm_kb_hit.inc();
+                    } else {
+                        self.warm_kb_miss.inc();
+                    }
+                    self.metrics.gauge("warm_kb_train").set(w.n_train as i64);
+                }
                 if let Some(store) = &self.archive {
                     // Best effort: an unwritable archive must not fail
                     // the session (the client already has the stream).
@@ -541,6 +560,16 @@ impl SessionManager {
                         session.id, session.request.stencil, session.request.seed
                     );
                     let _ = store.ingest_lines(&name, &stripped);
+                    // Auto-feed: once an operator has built a `kb.json`
+                    // in the archive, every finished session refreshes
+                    // it, so later `--warm <archive>` requests see the
+                    // daemon's own history. Opt-in by the index's
+                    // existence; best effort like the ingest itself.
+                    if KnowledgeBase::path_in(store.dir()).exists() {
+                        if let Ok(build) = KnowledgeBase::build(store) {
+                            let _ = build.kb.save(store.dir());
+                        }
+                    }
                 }
                 session.finalize(SessionState::Done, Some(done), None);
             }

@@ -121,7 +121,7 @@ fn parse_tune(v: &Value) -> Result<TuneRequest, String> {
         Some(Value::Bool(b)) => *b,
         Some(x) => return Err(format!("`quick` must be a bool, got {}", x.kind())),
     };
-    TuneRequest::build(
+    let mut req = TuneRequest::build(
         opt_str(v, "stencil")?,
         opt_str(v, "arch")?,
         opt_str(v, "tuner")?,
@@ -129,7 +129,9 @@ fn parse_tune(v: &Value) -> Result<TuneRequest, String> {
         opt_f64(v, "budget_s")?,
         quick,
         parse_fault(v)?,
-    )
+    )?;
+    req.warm = opt_str(v, "warm")?.map(str::to_string);
+    Ok(req)
 }
 
 /// Parse one request line. Unknown commands, malformed JSON and invalid
@@ -180,6 +182,11 @@ pub fn tune_request_line(req: &TuneRequest) -> String {
         Some(FaultSpec::Hostile { seed }) => {
             let _ = write!(s, ",\"fault\":{{\"seed\":{seed}}}");
         }
+    }
+    // Conditional like `fault`, so cold requests keep their legacy bytes.
+    if let Some(warm) = &req.warm {
+        s.push_str(",\"warm\":");
+        write_escaped(&mut s, warm);
     }
     s.push('}');
     s
@@ -482,9 +489,19 @@ mod tests {
             Request::Tune(parsed) => assert_eq!(parsed, req),
             other => panic!("expected tune, got {other:?}"),
         }
-        let off = TuneRequest { fault: Some(FaultSpec::Off), ..req };
+        let off = TuneRequest { fault: Some(FaultSpec::Off), ..req.clone() };
         match parse_request(&tune_request_line(&off)).unwrap() {
             Request::Tune(parsed) => assert_eq!(parsed.fault, Some(FaultSpec::Off)),
+            other => panic!("expected tune, got {other:?}"),
+        }
+        // The warm knob is conditional: absent on cold requests (legacy
+        // bytes) and round-tripped verbatim when set.
+        assert!(!tune_request_line(&req).contains("warm"));
+        let warm = TuneRequest { warm: Some("results/obs".to_string()), ..req };
+        let line = tune_request_line(&warm);
+        assert!(line.contains("\"warm\":\"results/obs\""), "{line}");
+        match parse_request(&line).unwrap() {
+            Request::Tune(parsed) => assert_eq!(parsed, warm),
             other => panic!("expected tune, got {other:?}"),
         }
     }

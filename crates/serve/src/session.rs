@@ -12,7 +12,9 @@ use cst_gpu_sim::{FaultProfile, FaultStats, GpuArch};
 use cst_space::Setting;
 use cst_stencil::{suite, suite_ext, StencilKernel};
 use cst_telemetry::{Field, FieldValue, Telemetry};
+use cst_transfer::{warm_seeds, KnowledgeBase, DEFAULT_TOP_K};
 use cstuner_core::{journal_outcome, CancelToken, SimEvaluator, TuneError, Tuner, TuningOutcome};
+use std::path::Path;
 
 /// The full stencil suite: the paper's Table III kernels plus the
 /// extension kernels.
@@ -78,6 +80,13 @@ pub struct TuneRequest {
     pub quick: bool,
     /// Fault knob; `None` follows the serving process environment.
     pub fault: Option<FaultSpec>,
+    /// Warm-start knob: path of a journal-store directory whose
+    /// `kb.json` seeds the tuner's starting points (see `cst-transfer`).
+    /// `None` — and equally an absent or empty knowledge base — is the
+    /// cold path, bit-identical to a run without the knob. Set after
+    /// [`TuneRequest::build`] (CLI `--warm`, wire `warm`); never changes
+    /// the evaluator, only the first settings the tuner proposes.
+    pub warm: Option<String>,
 }
 
 impl TuneRequest {
@@ -114,7 +123,16 @@ impl TuneRequest {
         if !budget_s.is_finite() || budget_s <= 0.0 {
             return Err(format!("budget must be a positive number of seconds, got {budget_s}"));
         }
-        Ok(TuneRequest { stencil, arch, tuner, seed: seed.unwrap_or(0), budget_s, quick, fault })
+        Ok(TuneRequest {
+            stencil,
+            arch,
+            tuner,
+            seed: seed.unwrap_or(0),
+            budget_s,
+            quick,
+            fault,
+            warm: None,
+        })
     }
 }
 
@@ -125,6 +143,67 @@ pub struct SessionOutcome {
     pub outcome: TuningOutcome,
     /// Untuned baseline kernel time on the same simulated GPU, ms.
     pub baseline_ms: f64,
+    /// How the warm-start knob resolved; `None` for cold requests.
+    pub warm: Option<WarmInfo>,
+}
+
+/// How a session's `warm` knob resolved, for operator metrics
+/// (`warm_kb_hit`/`warm_kb_miss` on the daemon registry) and `kb rank`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WarmInfo {
+    /// The store directory named by the request.
+    pub store: String,
+    /// `exact`, `cross-arch`, `observed`, `empty` (no records for the
+    /// stencil, or no `kb.json` at all) or `error` (unreadable index —
+    /// the session degrades to cold rather than failing).
+    pub mode: String,
+    /// Surrogate training rows (0 for observed/empty/error).
+    pub n_train: usize,
+    /// Seeds actually offered to the tuner.
+    pub seeds: usize,
+}
+
+/// Resolve a warm-start knob against a store's `kb.json` and offer the
+/// ranked seeds to the tuner. Absent/empty indexes and load errors all
+/// leave the tuner untouched — the cold path stays bit-identical.
+fn apply_warm_start(
+    store_dir: &str,
+    tuner: &mut dyn Tuner,
+    stencil: &str,
+    arch: &str,
+    seed: u64,
+) -> WarmInfo {
+    let kb = match KnowledgeBase::load(Path::new(store_dir)) {
+        Ok(Some(kb)) => kb,
+        Ok(None) => {
+            return WarmInfo {
+                store: store_dir.to_string(),
+                mode: "empty".to_string(),
+                n_train: 0,
+                seeds: 0,
+            }
+        }
+        Err(e) => {
+            eprintln!("warning: warm-start disabled: {e}");
+            return WarmInfo {
+                store: store_dir.to_string(),
+                mode: "error".to_string(),
+                n_train: 0,
+                seeds: 0,
+            };
+        }
+    };
+    let w = warm_seeds(&kb, stencil, arch, DEFAULT_TOP_K, seed);
+    let info = WarmInfo {
+        store: store_dir.to_string(),
+        mode: w.mode.to_string(),
+        n_train: w.n_train,
+        seeds: w.seeds.len(),
+    };
+    if !w.seeds.is_empty() {
+        tuner.warm_start(w.seeds);
+    }
+    info
 }
 
 /// The deterministic result summary a `session_done` frame carries —
@@ -178,6 +257,12 @@ pub fn run_session(
     let arch = GpuArch::by_name(&req.arch).expect("TuneRequest::build validated the arch");
     let mut tuner =
         build_tuner(&req.tuner, req.quick).expect("TuneRequest::build validated the tuner");
+    // Seeding happens before any telemetry or evaluator state exists, so
+    // it can only change which settings the tuner proposes first.
+    let warm = req
+        .warm
+        .as_deref()
+        .map(|dir| apply_warm_start(dir, tuner.as_mut(), kernel.spec.name, arch.name, req.seed));
     tel.meta(&[
         Field::new("stencil", FieldValue::from(kernel.spec.name)),
         Field::new("arch", FieldValue::from(arch.name)),
@@ -204,7 +289,7 @@ pub fn run_session(
     let outcome = tuner.tune_with_telemetry(&mut eval, req.seed, tel)?;
     journal_outcome(tel, &outcome);
     tel.finish(outcome.search_s);
-    Ok(SessionOutcome { outcome, baseline_ms })
+    Ok(SessionOutcome { outcome, baseline_ms, warm })
 }
 
 #[cfg(test)]

@@ -205,6 +205,38 @@ impl std::fmt::Display for Setting {
     }
 }
 
+impl std::str::FromStr for Setting {
+    type Err = String;
+
+    /// Parse the [`Display`](std::fmt::Display) rendering back into a
+    /// setting: whitespace-separated `name=value` pairs. Every parameter
+    /// must appear exactly once (the knowledge base round-trips archived
+    /// settings through this format, so a silently-defaulted parameter
+    /// would corrupt training records).
+    fn from_str(text: &str) -> Result<Self, Self::Err> {
+        let mut values = [0u32; N_PARAMS];
+        let mut seen = [false; N_PARAMS];
+        for pair in text.split_whitespace() {
+            let (name, value) =
+                pair.split_once('=').ok_or_else(|| format!("expected name=value, got '{pair}'"))?;
+            let p = ParamId::ALL
+                .iter()
+                .find(|p| p.name() == name)
+                .ok_or_else(|| format!("unknown parameter '{name}'"))?;
+            if seen[p.index()] {
+                return Err(format!("duplicate parameter '{name}'"));
+            }
+            seen[p.index()] = true;
+            values[p.index()] =
+                value.parse::<u32>().map_err(|_| format!("bad value '{value}' for '{name}'"))?;
+        }
+        if let Some(p) = ParamId::ALL.iter().find(|p| !seen[p.index()]) {
+            return Err(format!("missing parameter '{}'", p.name()));
+        }
+        Ok(Setting(values))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -242,6 +274,27 @@ mod tests {
         assert_eq!(f[ParamId::UFx.index()], 3.0);
         assert_eq!(f[ParamId::UseShared.index()], 2.0);
         assert_eq!(f[ParamId::TBx.index()], 5.0); // log2(32)
+    }
+
+    #[test]
+    fn display_parse_round_trips() {
+        let s = Setting::baseline()
+            .with(ParamId::UseShared, 2)
+            .with(ParamId::UFx, 4)
+            .with(ParamId::SD, 2);
+        let back: Setting = s.to_string().parse().unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_text() {
+        assert!("".parse::<Setting>().unwrap_err().contains("missing parameter"));
+        assert!("TB_x=32".parse::<Setting>().unwrap_err().contains("missing parameter"));
+        assert!("bogus=1".parse::<Setting>().unwrap_err().contains("unknown parameter"));
+        assert!("TB_x".parse::<Setting>().unwrap_err().contains("name=value"));
+        assert!("TB_x=huge".parse::<Setting>().unwrap_err().contains("bad value"));
+        let doubled = format!("{} TB_x=32", Setting::baseline());
+        assert!(doubled.parse::<Setting>().unwrap_err().contains("duplicate"));
     }
 
     #[test]

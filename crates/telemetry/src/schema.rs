@@ -78,6 +78,9 @@ pub const EVENT_TYPES: &[(&str, &[(&str, FieldKind)])] = &[
         ],
     ),
     ("quarantine", &[("setting", FieldKind::Str), ("v_s", FieldKind::Num)]),
+    // Sampled (setting, measured time) training pairs for the transfer
+    // knowledge base, emitted by the kernel recorder at run end.
+    ("sample", &[("setting", FieldKind::Str), ("time_ms", FieldKind::NumOrNull)]),
     (
         "outcome",
         &[
@@ -234,6 +237,7 @@ mod tests {
             island_best = &best[..]
         );
         event!(tel, "quarantine", setting = "bx=32 by=8", v_s = 4.0);
+        event!(tel, "sample", setting = "bx=32 by=8", time_ms = 3.5);
         event!(
             tel,
             "outcome",

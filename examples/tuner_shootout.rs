@@ -38,6 +38,7 @@ fn main() {
         // environment (CST_FAULT_SEED), so the hostile CI leg exercises
         // the fault machinery here too.
         fault: None,
+        warm: None,
     };
 
     println!(

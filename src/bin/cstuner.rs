@@ -5,7 +5,7 @@
 //! cstuner version                                # crate + journal schema versions
 //! cstuner tune  --stencil cheby [--arch a100] [--budget 100] [--seed 0]
 //!               [--tuner cstuner|garvey|opentuner|artemis|random|grid|anneal|forest]
-//!               [--quick] [--journal run.jsonl] [--fault-off]
+//!               [--quick] [--journal run.jsonl] [--fault-off] [--warm STORE]
 //! cstuner codegen --stencil cheby [--arch a100] [--budget 60] [--out k.cu]
 //! cstuner report run.jsonl [--json]              # render a run journal
 //! cstuner journal-check run.jsonl                # schema-validate a journal
@@ -16,6 +16,11 @@
 //! cstuner obs dashboard [--store DIR] [--json]   # whole-archive table
 //! cstuner obs profile RUN [--json|--fold]        # span-profile a journal
 //! cstuner obs profile BASE CAND --diff           # compare two span profiles
+//! cstuner kb build [--store DIR]                 # mine kb.json from an archive
+//! cstuner kb stat  [--store DIR]                 # knowledge-base inventory
+//! cstuner kb rank  --stencil S [--arch A] [--store DIR] [--top K] [--seed N]
+//! cstuner kb gate  COLD WARM [--pct 5]           # warm must reach the milestone
+//!                                                # in <= the cold run's evals
 //! cstuner campaign run <spec.json> [--store DIR] [--addr HOST:PORT] [--fresh] [--json]
 //! cstuner campaign status <spec.json> [--store DIR]
 //! cstuner campaign report <spec.json> [--store DIR] [--json] [--save FILE]
@@ -116,8 +121,8 @@ fn check_flags(context: &str, flags: &HashMap<String, String>, allowed: &[&str])
 }
 
 /// Flags shared by `tune`, `codegen` and `client tune`.
-const TUNE_FLAGS: [&str; 8] =
-    ["stencil", "arch", "budget", "seed", "tuner", "quick", "journal", "fault-off"];
+const TUNE_FLAGS: [&str; 9] =
+    ["stencil", "arch", "budget", "seed", "tuner", "quick", "journal", "fault-off", "warm"];
 
 fn flag_u64(flags: &HashMap<String, String>, key: &str) -> Option<u64> {
     flags.get(key).map(|raw| {
@@ -137,10 +142,20 @@ fn flag_f64(flags: &HashMap<String, String>, key: &str) -> Option<f64> {
     })
 }
 
+/// Warm-start store from `--warm DIR` or the `CST_WARM` env var; the
+/// flag wins. `None` is the cold path.
+fn warm_override(flags: &HashMap<String, String>) -> Option<String> {
+    flags
+        .get("warm")
+        .filter(|d| !d.is_empty())
+        .cloned()
+        .or_else(|| std::env::var("CST_WARM").ok().filter(|d| !d.is_empty()))
+}
+
 /// Validate tune-family flags into a [`TuneRequest`] (exit 2 on error).
 fn tune_request_from_flags(flags: &HashMap<String, String>) -> TuneRequest {
     let fault = flags.contains_key("fault-off").then_some(FaultSpec::Off);
-    TuneRequest::build(
+    let mut req = TuneRequest::build(
         flags.get("stencil").map(String::as_str),
         flags.get("arch").map(String::as_str),
         flags.get("tuner").map(String::as_str),
@@ -152,7 +167,9 @@ fn tune_request_from_flags(flags: &HashMap<String, String>) -> TuneRequest {
     .unwrap_or_else(|e| {
         eprintln!("{e}");
         std::process::exit(2);
-    })
+    });
+    req.warm = warm_override(flags);
+    req
 }
 
 fn cmd_list() {
@@ -175,6 +192,25 @@ fn cmd_list() {
     for t in cstuner::baselines::zoo::tuners() {
         let default = if t.flag == "cstuner" { " (default)" } else { "" };
         println!("  {:9} {}{default}", t.flag, t.summary);
+    }
+    println!("Warm-start: {}", warm_provider_line());
+}
+
+/// One-line warm-start provider report shared by `list` and `version`:
+/// the KB schema this build speaks and whether `CST_WARM` names a store
+/// with a built index.
+fn warm_provider_line() -> String {
+    let version = cstuner::transfer::KB_VERSION;
+    match std::env::var("CST_WARM").ok().filter(|d| !d.is_empty()) {
+        Some(dir) => {
+            let state = if cstuner::transfer::KnowledgeBase::path_in(Path::new(&dir)).exists() {
+                "kb.json present"
+            } else {
+                "kb.json missing — run `cstuner kb build`"
+            };
+            format!("kb schema v{version}, provider CST_WARM={dir} ({state})")
+        }
+        None => format!("kb schema v{version}, no provider configured (--warm DIR or CST_WARM)"),
     }
 }
 
@@ -234,6 +270,12 @@ fn run_tune(flags: &HashMap<String, String>) -> (StencilKernel, SessionOutcome) 
         eprintln!("tuning failed: {e}");
         std::process::exit(1);
     });
+    if let Some(w) = &session.warm {
+        eprintln!(
+            "warm-start: {} seeds from {} ({} mode, {} training rows)",
+            w.seeds, w.store, w.mode, w.n_train
+        );
+    }
     print_outcome(&DoneInfo::new(&session));
     (kernel, session)
 }
@@ -402,6 +444,133 @@ fn cmd_obs(args: &[String]) {
             }
         }
         _ => obs_usage(),
+    }
+}
+
+fn kb_usage() -> ! {
+    eprintln!(
+        "usage: cstuner kb <command>\n  \
+         kb build [--store DIR]                         mine <store>/kb.json from the archive\n  \
+         kb stat  [--store DIR]                         knowledge-base inventory\n  \
+         kb rank  --stencil S [--arch A] [--store DIR] [--top K] [--seed N]\n      \
+           surrogate-ranked warm-start seeds for a target\n  \
+         kb gate  <cold-run> <warm-run> [--pct 5]\n      \
+           exit 1 unless the warm run reached the milestone in <= the cold run's evals\n\
+         the store defaults to results/obs; run arguments accept a *.summary.json or a raw journal"
+    );
+    std::process::exit(2);
+}
+
+/// The `cstuner kb` family: build, inspect and exploit the warm-start
+/// knowledge base (see `cst-transfer`).
+fn cmd_kb(args: &[String]) {
+    use cstuner::transfer::{warm_seeds, KnowledgeBase, DEFAULT_TOP_K, KB_VERSION};
+    let sub = args.first().map(String::as_str).unwrap_or("");
+    let (flags, positionals) = parse_args(&args[1.min(args.len())..]);
+    let store_dir = flags.get("store").cloned().unwrap_or_else(|| "results/obs".to_string());
+    let load_kb = || {
+        KnowledgeBase::load(Path::new(&store_dir))
+            .unwrap_or_else(|e| {
+                eprintln!("{e}");
+                std::process::exit(1);
+            })
+            .unwrap_or_else(|| {
+                eprintln!(
+                    "no {} in `{store_dir}` — run `cstuner kb build` first",
+                    cstuner::transfer::KB_FILE
+                );
+                std::process::exit(1);
+            })
+    };
+    match sub {
+        "build" => {
+            check_flags("kb build", &flags, &["store"]);
+            let store = JournalStore::open(Path::new(&store_dir)).unwrap_or_else(|e| {
+                eprintln!("{e}");
+                std::process::exit(2);
+            });
+            let build = KnowledgeBase::build(&store).unwrap_or_else(|e| {
+                eprintln!("{e}");
+                std::process::exit(1);
+            });
+            for warning in &build.warnings {
+                eprintln!("warning: {warning}");
+            }
+            build.kb.save(store.dir()).unwrap_or_else(|e| {
+                eprintln!("{e}");
+                std::process::exit(1);
+            });
+            println!(
+                "kb build: {} records from {} runs -> {} (schema v{KB_VERSION}, {} skipped)",
+                build.kb.records.len(),
+                store.list().map(|l| l.len()).unwrap_or(0),
+                KnowledgeBase::path_in(store.dir()).display(),
+                build.warnings.len()
+            );
+        }
+        "stat" => {
+            check_flags("kb stat", &flags, &["store"]);
+            let kb = load_kb();
+            println!(
+                "kb stat: schema v{KB_VERSION}, {} records, {} (stencil, arch) pairs",
+                kb.records.len(),
+                kb.pairs().len()
+            );
+            for (stencil, arch, n) in kb.pairs() {
+                println!("  {stencil:<11} {arch:<6} {n:>6} records");
+            }
+        }
+        "rank" => {
+            check_flags("kb rank", &flags, &["store", "stencil", "arch", "top", "seed"]);
+            let Some(stencil) = flags.get("stencil").filter(|s| !s.is_empty()) else {
+                eprintln!("--stencil is required for `cstuner kb rank`");
+                std::process::exit(2);
+            };
+            let arch = flags.get("arch").map(String::as_str).unwrap_or("A100");
+            let top = flag_u64(&flags, "top").map(|t| t as usize).unwrap_or(DEFAULT_TOP_K);
+            let seed = flag_u64(&flags, "seed").unwrap_or(0);
+            let kb = load_kb();
+            let w = warm_seeds(&kb, stencil, arch, top, seed);
+            println!(
+                "kb rank: {stencil} on {arch} — {} mode, {} training rows, {} candidates",
+                w.mode, w.n_train, w.candidates
+            );
+            for (i, s) in w.seeds.iter().enumerate() {
+                println!("  #{:<3} {s}", i + 1);
+            }
+            if w.seeds.is_empty() {
+                println!("  (no recorded settings for this stencil)");
+            }
+        }
+        "gate" => {
+            check_flags("kb gate", &flags, &["pct"]);
+            let [cold, warm] = positionals.as_slice() else { kb_usage() };
+            let pct = flag_u64(&flags, "pct").unwrap_or(5) as u32;
+            let (cold_run, warm_run) = (obs_load(cold), obs_load(warm));
+            let evals = |run: &obs::RunSummary, label: &str| match run.milestone(pct) {
+                Some(m) => {
+                    println!(
+                        "{label:<5} {:<24} within {pct}% after {} evals (iteration {})",
+                        run.source, m.evals, m.iteration
+                    );
+                    m.evals
+                }
+                None => {
+                    println!("{label:<5} {:<24} never reached within {pct}%", run.source);
+                    u64::MAX
+                }
+            };
+            let (c, w) = (evals(&cold_run, "cold"), evals(&warm_run, "warm"));
+            if w <= c {
+                println!(
+                    "kb gate: PASS — warm start reached the {pct}% milestone in <= cold evals"
+                );
+            } else {
+                println!("kb gate: FAIL — warm start needed more evals than cold");
+                std::process::exit(1);
+            }
+        }
+        _ => kb_usage(),
     }
 }
 
@@ -1026,6 +1195,7 @@ fn cmd_version() {
         cstuner::telemetry::SCHEMA_VERSION
     );
     println!("tuners: {}", cstuner::baselines::zoo::flag_list());
+    println!("warm-start: {}", warm_provider_line());
 }
 
 fn main() {
@@ -1126,6 +1296,7 @@ fn main() {
             }
         }
         "obs" => cmd_obs(rest),
+        "kb" => cmd_kb(rest),
         "campaign" => cmd_campaign(rest),
         "serve" => cmd_serve(&flags),
         "client" => cmd_client(rest),
@@ -1136,7 +1307,7 @@ fn main() {
         }
         _ => {
             eprintln!(
-                "usage: cstuner <list|version|tune|codegen|report|journal-check|metrics-check|obs|campaign|serve|client|top> \
+                "usage: cstuner <list|version|tune|codegen|report|journal-check|metrics-check|obs|kb|campaign|serve|client|top> \
                  [--stencil S] [--arch a100|v100] [--budget SECONDS] [--seed N] [--tuner T] \
                  [--quick] [--journal FILE] [--out FILE] [--addr HOST:PORT]"
             );

@@ -21,6 +21,8 @@
 //! - [`campaign`] — declarative benchmarking campaigns: stencil × arch ×
 //!   tuner × seed matrices with resumable fan-out, comparative dashboards
 //!   and significance-aware verdicts.
+//! - [`transfer`] — warm-start transfer tuning: a knowledge base mined
+//!   from archived runs plus surrogate-guided seeding of new sessions.
 //!
 //! ## Quickstart
 //!
@@ -53,6 +55,7 @@ pub use cst_space as space;
 pub use cst_stats as stats;
 pub use cst_stencil as stencil;
 pub use cst_telemetry as telemetry;
+pub use cst_transfer as transfer;
 pub use cstuner_core as core;
 
 /// Convenient single-import surface for applications.

@@ -6,16 +6,24 @@
 use std::process::Command;
 
 fn cstuner(args: &[&str]) -> std::process::Output {
-    Command::new(env!("CARGO_BIN_EXE_cstuner")).args(args).output().expect("run cstuner")
+    // CST_WARM is scrubbed so the version/list provider line is stable
+    // regardless of the invoking shell's warm-start configuration.
+    Command::new(env!("CARGO_BIN_EXE_cstuner"))
+        .env_remove("CST_WARM")
+        .args(args)
+        .output()
+        .expect("run cstuner")
 }
 
 #[test]
 fn version_prints_crate_schema_and_registered_tuners() {
     let expected = format!(
-        "cstuner {} (journal schema v{})\ntuners: {}\n",
+        "cstuner {} (journal schema v{})\ntuners: {}\nwarm-start: kb schema v{}, no provider \
+         configured (--warm DIR or CST_WARM)\n",
         env!("CARGO_PKG_VERSION"),
         cstuner::telemetry::SCHEMA_VERSION,
         cstuner::baselines::zoo::flag_list(),
+        cstuner::transfer::KB_VERSION,
     );
     for spelling in ["version", "--version"] {
         let out = cstuner(&[spelling]);
